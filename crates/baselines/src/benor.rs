@@ -1,0 +1,259 @@
+//! Ben-Or's original randomized agreement protocol, and the worst-case
+//! driver that exhibits its exponential expected stage count.
+//!
+//! Ben-Or's protocol is exactly Protocol 1 with an *empty* coin list:
+//! every processor that fails to see an S-message flips its own local
+//! coin. Termination then needs all coin-flipping processors to land on
+//! the S-message value simultaneously, which a value-tracking scheduler
+//! can postpone for an expected number of stages exponential in `n`.
+//! The paper's shared-coin modification removes that attack surface —
+//! experiment F1 reproduces the contrast.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtc_core::{Agreement, AgreementAutomaton, CoinList};
+use rtc_model::{LocalClock, ProcessorId, SeedCollection, Value};
+
+/// Builds a Ben-Or population: Protocol 1 automata with no shared coins.
+///
+/// # Panics
+///
+/// Panics unless `n > 2t` and `inputs.len() == n`.
+pub fn benor_population(n: usize, t: usize, inputs: &[Value]) -> Vec<AgreementAutomaton> {
+    assert_eq!(inputs.len(), n, "one input per processor");
+    (0..n)
+        .map(|i| {
+            AgreementAutomaton::new(
+                ProcessorId::new(i),
+                n,
+                t,
+                inputs[i],
+                CoinList::from_values(Vec::new()),
+            )
+        })
+        .collect()
+}
+
+/// The outcome of one worst-case driven run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorstCaseOutcome {
+    /// Stages executed until every processor decided (or the cap).
+    pub stages: u64,
+    /// Whether all processors decided within the stage cap.
+    pub decided: bool,
+}
+
+/// Drives a population of [`Agreement`] machines stage-by-stage under a
+/// **value-tracking scheduler** that works to keep the run undecided.
+///
+/// The scheduler runs processors in stage lockstep and, for each
+/// processor, picks which `n − t` first-exchange messages it receives:
+/// it balances the two values so that neither reaches the `> n/2`
+/// majority needed to emit an S-message, whenever the global value split
+/// makes that possible. With local coins (Ben-Or) the split re-randomizes
+/// every stage and the run survives until the binomial coin outcome is
+/// lopsided enough to defeat the balancing — an event whose probability
+/// shrinks with `n`, so expected stages grow steeply. With shared coins
+/// every coin-flipping processor lands on the *same* value, the split
+/// collapses immediately, and the run ends in a handful of stages.
+///
+/// **This scheduler inspects message values**, which the paper's
+/// Section-2.3 adversary cannot do. It exists to reproduce the
+/// *exponential vs constant* contrast of the paper's analysis and is
+/// labelled as a diagnostic in `EXPERIMENTS.md`.
+///
+/// Returns the number of stages until global decision, capped at
+/// `max_stages`.
+pub fn worst_case_stages(
+    n: usize,
+    t: usize,
+    coins: CoinList,
+    seed: u64,
+    max_stages: u64,
+) -> WorstCaseOutcome {
+    assert!(n > 2 * t, "requires n > 2t");
+    let seeds = SeedCollection::new(seed);
+    let mut balance_rng = SmallRng::seed_from_u64(seed ^ 0xB41A);
+    // Half the processors start at 1, half at 0: the adversary's
+    // preferred initial configuration.
+    let mut machines: Vec<Agreement> = (0..n)
+        .map(|i| {
+            let input = Value::from_bool(i % 2 == 0);
+            Agreement::new(ProcessorId::new(i), n, t, input, coins.clone())
+        })
+        .collect();
+    let quorum = n - t;
+    // Kick off stage 1.
+    let mut first_msgs: Vec<(ProcessorId, rtc_core::AgreementMsg)> = Vec::new();
+    for m in machines.iter_mut() {
+        let id = m.id();
+        for msg in m.start() {
+            first_msgs.push((id, msg));
+        }
+    }
+    for stage in 1..=max_stages {
+        // Partition this stage's first-exchange messages by value.
+        let mut ones: Vec<(ProcessorId, rtc_core::AgreementMsg)> = Vec::new();
+        let mut zeros: Vec<(ProcessorId, rtc_core::AgreementMsg)> = Vec::new();
+        for (from, msg) in first_msgs.drain(..) {
+            match msg {
+                rtc_core::AgreementMsg::First {
+                    value: Value::One, ..
+                } => {
+                    ones.push((from, msg));
+                }
+                rtc_core::AgreementMsg::First {
+                    value: Value::Zero, ..
+                } => {
+                    zeros.push((from, msg));
+                }
+                rtc_core::AgreementMsg::Second { .. } => unreachable!("first exchange only"),
+            }
+        }
+        // For each processor, choose which first-exchange messages it
+        // receives so that neither value reaches the strict majority
+        // `> n/2` on its board — remembering that its *own* message is
+        // already posted there. A value stays below majority while its
+        // board count is at most floor(n/2).
+        let cap = n / 2;
+        let mut second_msgs: Vec<(ProcessorId, rtc_core::AgreementMsg)> = Vec::new();
+        for m in machines.iter_mut() {
+            let me = machine_id(m);
+            let my_value = m.local_value();
+            let mut count = [0usize; 2];
+            count[my_value.as_u8() as usize] = 1; // own posted message
+            let mut board_size = 1usize;
+            let mut chosen: Vec<(ProcessorId, rtc_core::AgreementMsg)> = Vec::new();
+            let mut pools: [Vec<&(ProcessorId, rtc_core::AgreementMsg)>; 2] = [
+                zeros.iter().filter(|(from, _)| *from != me).collect(),
+                ones.iter().filter(|(from, _)| *from != me).collect(),
+            ];
+            // First fill respecting the caps, preferring the currently
+            // rarer value on the board.
+            while board_size < quorum {
+                let prefer = usize::from(count[1] <= count[0]);
+                let side = if count[prefer] < cap && !pools[prefer].is_empty() {
+                    prefer
+                } else if count[1 - prefer] < cap && !pools[1 - prefer].is_empty() {
+                    1 - prefer
+                } else {
+                    break; // balancing impossible under the caps
+                };
+                let idx = balance_rng.gen_range(0..pools[side].len());
+                chosen.push(*pools[side].swap_remove(idx));
+                count[side] += 1;
+                board_size += 1;
+            }
+            // If the caps could not be respected, the adversary has lost
+            // this stage: fill the quorum arbitrarily and let the
+            // majority emerge.
+            while board_size < quorum {
+                let side = if pools[0].is_empty() { 1 } else { 0 };
+                if pools[side].is_empty() {
+                    break; // fewer than quorum messages exist at all
+                }
+                let idx = balance_rng.gen_range(0..pools[side].len());
+                chosen.push(*pools[side].swap_remove(idx));
+                count[side] += 1;
+                board_size += 1;
+            }
+            for (from, msg) in chosen {
+                m.ingest(from, msg);
+            }
+            let mut rng = seeds.step_rng(me, LocalClock::new(stage * 2));
+            for out in m.poll(&mut rng) {
+                second_msgs.push((me, out));
+            }
+        }
+        // Deliver every second-exchange message (hiding S-messages from
+        // some processors cannot help the adversary once balancing has
+        // failed, and when balancing succeeded they are all ⊥ anyway).
+        let batch = std::mem::take(&mut second_msgs);
+        for m in machines.iter_mut() {
+            let me = machine_id(m);
+            for (from, msg) in &batch {
+                if *from != me {
+                    m.ingest(*from, *msg);
+                }
+            }
+            let mut rng = seeds.step_rng(me, LocalClock::new(stage * 2 + 1));
+            for out in m.poll(&mut rng) {
+                first_msgs.push((me, out));
+            }
+        }
+        if machines.iter().all(|m| m.decision().is_some()) {
+            return WorstCaseOutcome {
+                stages: stage,
+                decided: true,
+            };
+        }
+    }
+    WorstCaseOutcome {
+        stages: max_stages,
+        decided: false,
+    }
+}
+
+fn machine_id(m: &Agreement) -> ProcessorId {
+    m.id()
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_model::{SeedCollection, TimingParams};
+    use rtc_sim::adversaries::RandomAdversary;
+    use rtc_sim::{RunLimits, SimBuilder};
+
+    use super::*;
+
+    #[test]
+    fn benor_is_safe_under_random_schedules() {
+        for seed in 0..10u64 {
+            let inputs = [Value::One, Value::Zero, Value::One, Value::Zero, Value::One];
+            let procs = benor_population(5, 2, &inputs);
+            let mut sim = SimBuilder::new(TimingParams::default(), SeedCollection::new(seed))
+                .fault_budget(2)
+                .build(procs)
+                .unwrap();
+            let mut adv = RandomAdversary::new(seed).deliver_prob(0.7);
+            let report = sim
+                .run(&mut adv, RunLimits::with_max_events(2_000_000))
+                .unwrap();
+            assert!(report.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_coins_end_worst_case_quickly() {
+        let coins = {
+            let mut rng = SeedCollection::new(1)
+                .step_rng(ProcessorId::COORDINATOR, rtc_model::LocalClock::ZERO);
+            CoinList::flip(64, &mut rng)
+        };
+        let out = worst_case_stages(7, 3, coins, 42, 64);
+        assert!(out.decided);
+        assert!(out.stages <= 10, "shared coins took {} stages", out.stages);
+    }
+
+    #[test]
+    fn local_coins_survive_longer_than_shared() {
+        let n = 9;
+        let t = 4;
+        let max = 256;
+        let mut benor_total = 0u64;
+        let mut shared_total = 0u64;
+        for seed in 0..10u64 {
+            benor_total += worst_case_stages(n, t, CoinList::from_values(vec![]), seed, max).stages;
+            let coins = {
+                let mut rng = SeedCollection::new(seed)
+                    .step_rng(ProcessorId::COORDINATOR, rtc_model::LocalClock::ZERO);
+                CoinList::flip(512, &mut rng)
+            };
+            shared_total += worst_case_stages(n, t, coins, seed, max).stages;
+        }
+        assert!(
+            benor_total > 2 * shared_total,
+            "expected Ben-Or ({benor_total}) to be much slower than shared coins ({shared_total})"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline protocols the paper compares against, implemented on the
+//! same simulator substrate as the paper's own protocol.
+//!
+//! * [`benor`] — Ben-Or's original randomized agreement (Protocol 1
+//!   with an empty coin list), plus the value-tracking worst-case
+//!   driver that exhibits its exponential expected stage count.
+//! * [`rabin`] — Rabin-style agreement with a trusted dealer's coin
+//!   sequence: same stage machinery, stronger trust assumption.
+//! * [`cms`] — a CMS-style protocol whose shared coin is assembled from
+//!   the processors' own flips (weak global coin): constant expected
+//!   time at small fault loads, degrading well before `t = n/2`.
+//! * [`twopc`] — two-phase commit: always safe, but *blocking* when the
+//!   coordinator dies in its window of vulnerability.
+//! * [`threepc`] — Skeen's three-phase commit with timeout transitions:
+//!   nonblocking under synchrony, but a single late message makes it
+//!   produce conflicting decisions — the paper's motivating failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod benor;
+pub mod cms;
+pub mod rabin;
+pub mod threepc;
+pub mod twopc;
+
+pub use benor::{benor_population, worst_case_stages, WorstCaseOutcome};
+pub use cms::{cms_population, CmsAutomaton, CmsBundle, CmsMsg};
+pub use rabin::{dealer_coins, rabin_population};
+pub use threepc::{
+    precommit_delayer, threepc_population, PreCommitDelayer, ThreePcAutomaton, ThreePcBundle,
+    ThreePcMsg,
+};
+pub use twopc::{twopc_population, TwoPcAutomaton, TwoPcBundle, TwoPcMsg};

@@ -1,0 +1,290 @@
+//! Criterion benchmarks: one target per experiment of `EXPERIMENTS.md`
+//! (T1–T8, F1–F5), plus an engine-throughput baseline.
+//!
+//! Each target benchmarks the *kernel* of its experiment — a single
+//! representative run at a fixed seed — so `cargo bench` doubles as a
+//! regression harness for simulator and protocol performance. The
+//! statistical tables themselves are produced by the `paper_tables`
+//! binary, not here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtc_baselines::cms::anti_leader_stages;
+use rtc_baselines::{dealer_coins, threepc_population, twopc_population, worst_case_stages};
+use rtc_core::{CoinList, CommitConfig};
+use rtc_experiments::run_commit;
+use rtc_model::{ProcessorId, SeedCollection, TimingParams, Value};
+use rtc_sim::adversaries::{
+    CrashAdversary, CrashPlan, DelayAdversary, DropPolicy, PartitionAdversary, RandomAdversary,
+    SynchronousAdversary, Unfair,
+};
+use rtc_sim::{RunLimits, SimBuilder};
+
+fn cfg(n: usize) -> CommitConfig {
+    CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+}
+
+/// T1/T2 kernel: one full commit run under a random adversary,
+/// including round accounting.
+fn bench_t1_t2_commit_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_t2_commit_random");
+    group.sample_size(20);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = cfg(n);
+            let votes = vec![Value::One; n];
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut adv = RandomAdversary::new(seed).deliver_prob(0.7);
+                run_commit(config, &votes, seed, &mut adv, RunLimits::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// T3 kernel: failure-free on-time run with realistic (lagged) delays.
+fn bench_t3_ontime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_ontime");
+    group.sample_size(20);
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = cfg(n);
+            let votes = vec![Value::One; n];
+            let k = config.timing().k();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut adv = SynchronousAdversary::with_lag(n, (k - 1) * n as u64);
+                run_commit(config, &votes, seed, &mut adv, RunLimits::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// T4/F1 kernel: the value-tracking worst-case driver, shared coins vs
+/// Ben-Or.
+fn bench_t4_f1_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_f1_worst_case");
+    group.sample_size(10);
+    group.bench_function("shared_coins_n9", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            worst_case_stages(9, 4, dealer_coins(64, seed), seed, 512)
+        });
+    });
+    group.bench_function("benor_n7_cap256", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            worst_case_stages(7, 3, CoinList::from_values(vec![]), seed, 256)
+        });
+    });
+    group.finish();
+}
+
+/// T5 kernel: over-budget crashes under an unfair scheduler.
+fn bench_t5_degradation(c: &mut Criterion) {
+    c.bench_function("t5_degradation_n5_4crashes", |b| {
+        let config = cfg(5);
+        let votes = vec![Value::One; 5];
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let plans: Vec<CrashPlan> = (0..4)
+                .map(|i| CrashPlan {
+                    at_event: 10 + 7 * i as u64,
+                    victim: ProcessorId::new(4 - i),
+                    drop: DropPolicy::DropAll,
+                })
+                .collect();
+            let mut adv = Unfair(CrashAdversary::new(SynchronousAdversary::new(5), plans));
+            run_commit(
+                config,
+                &votes,
+                seed,
+                &mut adv,
+                RunLimits::with_max_events(30_000),
+            )
+        });
+    });
+}
+
+/// T6/F3 kernel: x-slow delivery (also the Theorem 17 mechanism).
+fn bench_t6_f3_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_f3_delay");
+    group.sample_size(20);
+    for x in [1u64, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+            let config = cfg(4);
+            let mut votes = vec![Value::One; 4];
+            votes[2] = Value::Zero;
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut adv = DelayAdversary::new(4, x);
+                run_commit(
+                    config,
+                    &votes,
+                    seed,
+                    &mut adv,
+                    RunLimits::with_max_events(2_000_000),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// T7/F5 kernel: failure-free synchronous commit (message counting).
+fn bench_t7_f5_sync_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_f5_sync_commit");
+    group.sample_size(20);
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = cfg(n);
+            let votes = vec![Value::One; n];
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut adv = SynchronousAdversary::new(n);
+                run_commit(config, &votes, seed, &mut adv, RunLimits::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// F2 kernel: the coin-splitting attack on the CMS-style leader coin.
+fn bench_f2_coin_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_coin_split");
+    group.sample_size(10);
+    for t in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                anti_leader_stages(13, t, seed, 1024)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// F4 kernels: 3PC split-decision, 2PC blocking window, and the paper's
+/// protocol under the same coordinator crash.
+fn bench_f4_late_messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_late_messages");
+    group.sample_size(20);
+    group.bench_function("threepc_late_precommit", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let procs = threepc_population(3, TimingParams::default(), &[Value::One; 3]);
+            let mut sim = SimBuilder::new(TimingParams::default(), SeedCollection::new(seed))
+                .fault_budget(0)
+                .build(procs)
+                .unwrap();
+            let mut adv = rtc_baselines::precommit_delayer(ProcessorId::new(2), 10_000);
+            sim.run_content(&mut adv, RunLimits::with_max_events(9_000))
+                .unwrap()
+        });
+    });
+    group.bench_function("twopc_blocking_window", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let procs = twopc_population(3, TimingParams::default(), &[Value::One; 3]);
+            let mut sim = SimBuilder::new(TimingParams::default(), SeedCollection::new(seed))
+                .fault_budget(1)
+                .build(procs)
+                .unwrap();
+            let mut adv = CrashAdversary::new(
+                SynchronousAdversary::new(3),
+                vec![CrashPlan {
+                    at_event: 3,
+                    victim: ProcessorId::COORDINATOR,
+                    drop: DropPolicy::DropAll,
+                }],
+            );
+            sim.run(&mut adv, RunLimits::with_max_events(5_000))
+                .unwrap()
+        });
+    });
+    group.bench_function("cl86_coordinator_crash", |b| {
+        let config = cfg(3);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut adv = CrashAdversary::new(
+                SynchronousAdversary::new(3),
+                vec![CrashPlan {
+                    at_event: 1,
+                    victim: ProcessorId::COORDINATOR,
+                    drop: DropPolicy::DropTo(vec![ProcessorId::new(2)]),
+                }],
+            );
+            run_commit(
+                config,
+                &[Value::One; 3],
+                seed,
+                &mut adv,
+                RunLimits::with_max_events(50_000),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// T8 kernel: half/half partition stall.
+fn bench_t8_partition(c: &mut Criterion) {
+    c.bench_function("t8_partition_n8", |b| {
+        let config = cfg(8);
+        let votes = vec![Value::One; 8];
+        let group_a: Vec<ProcessorId> = ProcessorId::all(4).collect();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut adv = PartitionAdversary::new(8, &group_a);
+            run_commit(
+                config,
+                &votes,
+                seed,
+                &mut adv,
+                RunLimits::with_max_events(20_000),
+            )
+        });
+    });
+}
+
+/// Engine throughput baseline: events per second through the simulator
+/// on the commit protocol's message mix.
+fn bench_engine_throughput(c: &mut Criterion) {
+    c.bench_function("engine_sync_commit_n16_events", |b| {
+        let config = cfg(16);
+        let votes = vec![Value::One; 16];
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut adv = SynchronousAdversary::new(16);
+            run_commit(config, &votes, seed, &mut adv, RunLimits::default())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_t1_t2_commit_random,
+    bench_t3_ontime,
+    bench_t4_f1_worst_case,
+    bench_t5_degradation,
+    bench_t6_f3_delay,
+    bench_t7_f5_sync_commit,
+    bench_f2_coin_split,
+    bench_f4_late_messages,
+    bench_t8_partition,
+    bench_engine_throughput,
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Benchmark-only crate: see `benches/paper.rs` for the criterion
+//! targets, one per experiment in `EXPERIMENTS.md`.
+//!
+//! Run with `cargo bench -p rtc-bench`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,133 @@
+//! The shared coin list distributed in `GO` messages.
+//!
+//! The coordinator flips `m ≥ n` coins at the start of Protocol 2 and
+//! floods them to everyone. Supplying all processors with *identical*
+//! coin flips is the key idea that lowers Ben-Or's expected running time
+//! from exponential to constant while tolerating `t < n/2` crashes
+//! (Section 3): in any stage `s ≤ m` where some processors fall back to
+//! a coin, they all use the same coin `coins[s]`, so the stage resolves
+//! with probability at least 1/2 instead of `2^-n`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rtc_model::{StepRng, Value};
+
+/// An immutable, cheaply clonable list of shared coin flips.
+///
+/// Cloning is `O(1)` (the list is reference-counted), which keeps the
+/// piggybacked `GO` on every message affordable.
+///
+/// # Example
+///
+/// ```
+/// use rtc_core::CoinList;
+/// use rtc_model::{SeedCollection, ProcessorId, LocalClock};
+///
+/// let mut rng = SeedCollection::new(7).step_rng(ProcessorId::COORDINATOR, LocalClock::ZERO);
+/// let coins = CoinList::flip(8, &mut rng);
+/// assert_eq!(coins.len(), 8);
+/// assert_eq!(coins.get(1), coins.get(1)); // deterministic lookups
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CoinList {
+    flips: Arc<[Value]>,
+}
+
+impl CoinList {
+    /// Flips `m` coins using the supplied per-step randomness — the
+    /// coordinator's `flip(n)` (or more, per the paper's final remark
+    /// that flipping more than `n` coins pushes the expected stage count
+    /// toward 3).
+    pub fn flip(m: usize, rng: &mut StepRng) -> CoinList {
+        let flips: Vec<Value> = rng.flip(m).into_iter().map(Value::from_bool).collect();
+        CoinList {
+            flips: flips.into(),
+        }
+    }
+
+    /// A coin list with the given flips (for tests and adversarial
+    /// scenarios).
+    pub fn from_values(flips: Vec<Value>) -> CoinList {
+        CoinList {
+            flips: flips.into(),
+        }
+    }
+
+    /// Number of coins in the list.
+    pub fn len(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Whether the list is empty (running Protocol 1 with an empty list
+    /// degenerates to Ben-Or's original protocol).
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    /// The coin for stage `s` (1-based, as the paper indexes stages), if
+    /// `s ≤ len`.
+    pub fn get(&self, stage: u64) -> Option<Value> {
+        if stage == 0 {
+            return None;
+        }
+        self.flips.get(stage as usize - 1).copied()
+    }
+}
+
+impl fmt::Debug for CoinList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The contents are secret from the adversary; keep them out of
+        // debug output so log-driven schedulers cannot cheat by accident.
+        write!(f, "CoinList {{ len: {} }}", self.flips.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_model::{LocalClock, ProcessorId, SeedCollection};
+
+    use super::*;
+
+    fn rng() -> StepRng {
+        SeedCollection::new(3).step_rng(ProcessorId::COORDINATOR, LocalClock::ZERO)
+    }
+
+    #[test]
+    fn stage_indexing_is_one_based() {
+        let coins = CoinList::from_values(vec![Value::One, Value::Zero]);
+        assert_eq!(coins.get(0), None);
+        assert_eq!(coins.get(1), Some(Value::One));
+        assert_eq!(coins.get(2), Some(Value::Zero));
+        assert_eq!(coins.get(3), None);
+    }
+
+    #[test]
+    fn flip_produces_requested_length() {
+        let coins = CoinList::flip(17, &mut rng());
+        assert_eq!(coins.len(), 17);
+        assert!(!coins.is_empty());
+    }
+
+    #[test]
+    fn empty_list_is_benor_mode() {
+        let coins = CoinList::from_values(vec![]);
+        assert!(coins.is_empty());
+        assert_eq!(coins.get(1), None);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = CoinList::flip(64, &mut rng());
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_hides_flips() {
+        let coins = CoinList::from_values(vec![Value::One]);
+        let dbg = format!("{coins:?}");
+        assert!(dbg.contains("len"));
+        assert!(!dbg.contains('1') || dbg.contains("len: 1"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Configuration of a commit-protocol instance.
+
+use rtc_model::{ModelError, TimingParams};
+
+/// Parameters of one Protocol 2 deployment.
+///
+/// Validates the paper's standing assumptions at construction: `n > 2t`
+/// (Theorem 14 proves no `t`-nonblocking commit protocol exists
+/// otherwise) and `K ≥ 1` (carried by [`TimingParams`]).
+///
+/// # Example
+///
+/// ```
+/// use rtc_core::CommitConfig;
+/// use rtc_model::TimingParams;
+///
+/// let cfg = CommitConfig::new(7, 3, TimingParams::default())?;
+/// assert_eq!(cfg.quorum(), 4);
+/// assert_eq!(cfg.coin_count(), 7); // defaults to n
+/// # Ok::<(), rtc_model::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitConfig {
+    n: usize,
+    t: usize,
+    timing: TimingParams,
+    coin_count: usize,
+    piggyback_go: bool,
+    early_abort: bool,
+    decision_broadcast: bool,
+}
+
+impl CommitConfig {
+    /// Creates a configuration for `n` processors tolerating `t` crash
+    /// faults under timing constants `timing`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FaultBoundViolated`] when `n ≤ 2t`, and
+    /// [`ModelError::PopulationTooLarge`] when `n` is zero or oversized.
+    pub fn new(n: usize, t: usize, timing: TimingParams) -> Result<CommitConfig, ModelError> {
+        if n == 0 || n > usize::from(u16::MAX) {
+            return Err(ModelError::PopulationTooLarge { requested: n });
+        }
+        if n <= 2 * t {
+            return Err(ModelError::FaultBoundViolated { n, t });
+        }
+        Ok(CommitConfig {
+            n,
+            t,
+            timing,
+            coin_count: n,
+            piggyback_go: true,
+            early_abort: true,
+            decision_broadcast: false,
+        })
+    }
+
+    /// The maximum fault bound this population supports:
+    /// `⌈n/2⌉ − 1` (just under half).
+    pub fn max_tolerated(n: usize) -> usize {
+        n.saturating_sub(1) / 2
+    }
+
+    /// Overrides the number of coins the coordinator flips (the paper's
+    /// final remark: flipping more than `n` pushes the expected stage
+    /// count toward 3 and the expected round count toward 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`; Protocol 2 always distributes at least one
+    /// coin.
+    #[must_use]
+    pub fn with_coin_count(mut self, m: usize) -> CommitConfig {
+        assert!(m > 0, "the coordinator must flip at least one coin");
+        self.coin_count = m;
+        self
+    }
+
+    /// **Ablation switch**: disables piggybacking the `GO` message on
+    /// every send. The paper's protocol piggybacks so that any processor
+    /// that receives *anything* has the coins; without it, a processor
+    /// that missed every explicit `GO` (e.g. it was partitioned during
+    /// the announcement phase) can never join Protocol 1, and runs that
+    /// need its vote in the quorum stall. Used by experiment A1 to show
+    /// the mechanism is load-bearing; production deployments should
+    /// leave it on.
+    #[must_use]
+    pub fn with_piggyback(mut self, enabled: bool) -> CommitConfig {
+        self.piggyback_go = enabled;
+        self
+    }
+
+    /// **Ablation switch**: disables the early unilateral abort ("any
+    /// processor that has abort as its vote can actually implement the
+    /// abort", Section 3.2). With it off, abort decisions wait for
+    /// Protocol 1 to finish; experiment A2 measures the latency the
+    /// rule saves.
+    #[must_use]
+    pub fn with_early_abort(mut self, enabled: bool) -> CommitConfig {
+        self.early_abort = enabled;
+        self
+    }
+
+    /// **Extension switch** (off by default — the paper's protocol does
+    /// not include it): once a processor decides, it broadcasts a
+    /// `Decided(v)` notification and falls silent; receivers adopt `v`
+    /// immediately, relay once, and halt.
+    ///
+    /// Safe in the fail-stop model: a decided value is final and, by
+    /// the agreement condition, unique, so adopting it preserves every
+    /// correctness condition. What it buys: stragglers decide in one
+    /// message delay instead of running further stages, and *every*
+    /// processor reaches the halted state — the literal pseudocode
+    /// leaves the last deciders waiting for a second quorum that may
+    /// never form once early deciders return (see
+    /// `tests/end_to_end_commit.rs`). Experiment A4 measures both
+    /// effects.
+    #[must_use]
+    pub fn with_decision_broadcast(mut self, enabled: bool) -> CommitConfig {
+        self.decision_broadcast = enabled;
+        self
+    }
+
+    /// Whether the decision-broadcast extension is on.
+    pub fn decision_broadcast(&self) -> bool {
+        self.decision_broadcast
+    }
+
+    /// Whether `GO` rides on every message (the paper's behaviour).
+    pub fn piggyback_go(&self) -> bool {
+        self.piggyback_go
+    }
+
+    /// Whether abort-voters decide at vote-broadcast time (the paper's
+    /// behaviour).
+    pub fn early_abort(&self) -> bool {
+        self.early_abort
+    }
+
+    /// Number of processors.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// The fault bound `t`.
+    pub fn fault_bound(&self) -> usize {
+        self.t
+    }
+
+    /// The quorum size `n − t` used by every wait of Protocol 1.
+    pub fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// The timing constants.
+    pub fn timing(&self) -> TimingParams {
+        self.timing
+    }
+
+    /// How many shared coins the coordinator flips.
+    pub fn coin_count(&self) -> usize {
+        self.coin_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_majority_correct() {
+        assert!(CommitConfig::new(3, 1, TimingParams::default()).is_ok());
+        assert!(CommitConfig::new(7, 3, TimingParams::default()).is_ok());
+    }
+
+    #[test]
+    fn rejects_n_at_most_2t() {
+        assert_eq!(
+            CommitConfig::new(4, 2, TimingParams::default()).unwrap_err(),
+            ModelError::FaultBoundViolated { n: 4, t: 2 }
+        );
+        assert!(CommitConfig::new(2, 1, TimingParams::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_population() {
+        assert!(CommitConfig::new(0, 0, TimingParams::default()).is_err());
+    }
+
+    #[test]
+    fn max_tolerated_is_just_under_half() {
+        assert_eq!(CommitConfig::max_tolerated(1), 0);
+        assert_eq!(CommitConfig::max_tolerated(2), 0);
+        assert_eq!(CommitConfig::max_tolerated(3), 1);
+        assert_eq!(CommitConfig::max_tolerated(4), 1);
+        assert_eq!(CommitConfig::max_tolerated(5), 2);
+        assert_eq!(CommitConfig::max_tolerated(8), 3);
+    }
+
+    #[test]
+    fn coin_count_defaults_to_n_and_is_overridable() {
+        let cfg = CommitConfig::new(5, 2, TimingParams::default()).unwrap();
+        assert_eq!(cfg.coin_count(), 5);
+        assert_eq!(cfg.with_coin_count(40).coin_count(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coin")]
+    fn zero_coins_panics() {
+        let _ = CommitConfig::new(3, 1, TimingParams::default())
+            .unwrap()
+            .with_coin_count(0);
+    }
+}

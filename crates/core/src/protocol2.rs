@@ -1,0 +1,631 @@
+//! Protocol 2: the randomized transaction commit protocol (Section 3.2).
+//!
+//! Each processor keeps a *vote* — what it currently wants to do with
+//! the transaction (`0` abort, `1` commit). The coordinator (id 0) flips
+//! the shared coins and floods them in `GO` messages; every processor
+//! relays `GO` once to announce "I am participating". A processor that
+//! does not hear `GO` from everyone within `2K` of its own clock ticks
+//! changes its vote to abort. Votes are then broadcast; a processor that
+//! receives `n` commit votes within `2K` ticks enters Protocol 1 with
+//! input 1, otherwise with input 0. The transaction commits iff
+//! Protocol 1 decides 1.
+//!
+//! Two details from the paper that matter for correctness:
+//!
+//! * **Piggybacking.** The `GO` message (with its coins) is piggybacked
+//!   on *every* message, including Protocol 1's. Thus any processor that
+//!   receives anything at all has the coins and can participate, even if
+//!   the coordinator died mid-broadcast.
+//! * **Early abort.** "Any processor that has abort as its vote can
+//!   actually implement the abort" at vote-broadcast time: once `p`
+//!   broadcasts an abort vote, no processor can ever collect `n` commit
+//!   votes, so every input to Protocol 1 is 0 and — by Protocol 1's
+//!   validity — the common decision is already fixed at abort.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use rtc_model::{Automaton, Decision, Delivery, ProcessorId, Send, Status, StepRng, Value};
+
+use crate::coins::CoinList;
+use crate::config::CommitConfig;
+use crate::protocol1::{Agreement, AgreementMsg};
+
+/// The payload kinds of Protocol 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitKind {
+    /// A `GO` message (original or relay); the coins ride in the
+    /// envelope's piggyback slot.
+    Go,
+    /// A vote broadcast.
+    Vote(Value),
+    /// A Protocol 1 message.
+    Agree(AgreementMsg),
+    /// A decision notification (sent only when the
+    /// [`CommitConfig::with_decision_broadcast`] extension is on).
+    Decided(Value),
+}
+
+/// A Protocol 2 message: the payloads a processor emits at one step
+/// (bundled so each destination gets at most one message per step, per
+/// the model), plus the piggybacked `GO`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitMsg {
+    /// The piggybacked coins (`Some` on every message a processor sends
+    /// after learning them — which is every message it can send at all,
+    /// except the coordinator-less corner where coins are unknown).
+    pub go: Option<CoinList>,
+    /// The payloads.
+    pub kinds: Vec<CommitKind>,
+}
+
+/// Which instruction window of Protocol 2 the processor is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CommitPhase {
+    /// Instruction 2: waiting for a `GO` message.
+    AwaitGo,
+    /// Instruction 4: waiting for `n` `GO`s or `2K` ticks.
+    AwaitGoQuorum,
+    /// Instruction 8: waiting for `n` votes or `2K` ticks.
+    AwaitVotes,
+    /// Instruction 12: inside Protocol 1.
+    Agreeing,
+}
+
+/// One processor of the randomized transaction commit protocol.
+///
+/// # Example
+///
+/// Running three processors to a unanimous commit under the benign
+/// scheduler:
+///
+/// ```
+/// use rtc_core::{CommitAutomaton, CommitConfig};
+/// use rtc_model::{Decision, ProcessorId, SeedCollection, TimingParams, Value};
+/// use rtc_sim::{adversaries::SynchronousAdversary, RunLimits, SimBuilder};
+///
+/// let cfg = CommitConfig::new(3, 1, TimingParams::default())?;
+/// let procs: Vec<_> = ProcessorId::all(3)
+///     .map(|p| CommitAutomaton::new(cfg, p, Value::One))
+///     .collect();
+/// let mut sim = SimBuilder::new(cfg.timing(), SeedCollection::new(42))
+///     .fault_budget(cfg.fault_bound())
+///     .build(procs)
+///     .unwrap();
+/// let report = sim.run(&mut SynchronousAdversary::new(3), RunLimits::default()).unwrap();
+/// assert!(report.statuses().iter().all(|s| s.decision() == Some(Decision::Commit)));
+/// # Ok::<(), rtc_model::ModelError>(())
+/// ```
+#[derive(Clone)]
+pub struct CommitAutomaton {
+    id: ProcessorId,
+    cfg: CommitConfig,
+    clock: u64,
+    vote: Value,
+    initval: Value,
+    coins: Option<CoinList>,
+    phase: CommitPhase,
+    go_senders: HashSet<ProcessorId>,
+    go_wait_start: Option<u64>,
+    votes: HashMap<ProcessorId, Value>,
+    vote_wait_start: Option<u64>,
+    pending_agree: Vec<(ProcessorId, AgreementMsg)>,
+    agreement: Option<Agreement>,
+    decided: Option<Value>,
+    early_abort: bool,
+    agreement_input: Option<Value>,
+    /// Decision-broadcast extension state: whether this processor has
+    /// sent its `Decided` notification, and whether it adopted the
+    /// decision from one (and is therefore silent).
+    decision_sent: bool,
+    adopted: bool,
+}
+
+impl CommitAutomaton {
+    /// Creates the automaton for processor `id` with initial vote
+    /// `initval` (`Value::One` = wants to commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the configured population.
+    pub fn new(cfg: CommitConfig, id: ProcessorId, initval: Value) -> CommitAutomaton {
+        assert!(id.index() < cfg.population(), "processor id out of range");
+        CommitAutomaton {
+            id,
+            cfg,
+            clock: 0,
+            vote: initval,
+            initval,
+            coins: None,
+            phase: CommitPhase::AwaitGo,
+            go_senders: HashSet::new(),
+            go_wait_start: None,
+            votes: HashMap::new(),
+            vote_wait_start: None,
+            pending_agree: Vec::new(),
+            agreement: None,
+            decided: None,
+            early_abort: false,
+            agreement_input: None,
+            decision_sent: false,
+            adopted: false,
+        }
+    }
+
+    /// The processor's initial vote.
+    pub fn initial_vote(&self) -> Value {
+        self.initval
+    }
+
+    /// The processor's current vote.
+    pub fn vote(&self) -> Value {
+        self.vote
+    }
+
+    /// Whether this processor decided abort at vote-broadcast time
+    /// (before entering Protocol 1).
+    pub fn early_aborted(&self) -> bool {
+        self.early_abort
+    }
+
+    /// The embedded Protocol 1 machine, once instruction 12 is reached.
+    pub fn agreement(&self) -> Option<&Agreement> {
+        self.agreement.as_ref()
+    }
+
+    /// The value this processor fed into Protocol 1 (`x_p`), once known.
+    pub fn agreement_input(&self) -> Option<Value> {
+        self.agreement_input
+    }
+
+    /// Whether this processor has learned the shared coins.
+    pub fn has_coins(&self) -> bool {
+        self.coins.is_some()
+    }
+
+    /// Whether this processor adopted its decision from a `Decided`
+    /// broadcast (extension; see
+    /// [`CommitConfig::with_decision_broadcast`]).
+    pub fn adopted_decision(&self) -> bool {
+        self.adopted
+    }
+
+    fn ingest(&mut self, d: &Delivery<CommitMsg>) {
+        if let Some(coins) = &d.msg.go {
+            // Any message carrying coins doubles as a GO from its sender.
+            self.coins.get_or_insert_with(|| coins.clone());
+            self.go_senders.insert(d.from);
+        }
+        for kind in &d.msg.kinds {
+            match kind {
+                CommitKind::Go => {}
+                CommitKind::Vote(v) => {
+                    self.votes.entry(d.from).or_insert(*v);
+                }
+                CommitKind::Agree(am) => match &mut self.agreement {
+                    Some(agreement) => agreement.ingest(d.from, *am),
+                    None => self.pending_agree.push((d.from, *am)),
+                },
+                CommitKind::Decided(v) => {
+                    // Extension: adopt the (final, unique) decision. A
+                    // processor that already decided on its own may also
+                    // fall silent now — the decision is being gossiped,
+                    // so everyone is guaranteed to learn it without any
+                    // further Protocol 1 traffic.
+                    debug_assert!(
+                        self.cfg.decision_broadcast(),
+                        "Decided without the extension"
+                    );
+                    let prior = *self.decided.get_or_insert(*v);
+                    debug_assert_eq!(prior, *v, "conflicting Decided broadcasts");
+                    self.adopted = true;
+                }
+            }
+        }
+    }
+
+    fn timed_out(&self, start: Option<u64>) -> bool {
+        start.is_some_and(|s| self.clock.saturating_sub(s) >= self.cfg.timing().vote_timeout())
+    }
+
+    /// Runs the phase machine until it can make no further progress this
+    /// step; returns payload kinds to broadcast.
+    fn advance(&mut self, rng: &mut StepRng) -> Vec<CommitKind> {
+        let n = self.cfg.population();
+        let mut out = Vec::new();
+        loop {
+            match self.phase {
+                CommitPhase::AwaitGo => {
+                    if self.id.is_coordinator() && self.coins.is_none() {
+                        // Instruction 1: flip the coins and broadcast GO.
+                        self.coins = Some(CoinList::flip(self.cfg.coin_count(), rng));
+                    }
+                    if self.coins.is_some() {
+                        // Instruction 3: relay GO (the coordinator's
+                        // broadcast and the relay are the same send here).
+                        self.go_senders.insert(self.id);
+                        out.push(CommitKind::Go);
+                        self.go_wait_start = Some(self.clock);
+                        self.phase = CommitPhase::AwaitGoQuorum;
+                    } else {
+                        break;
+                    }
+                }
+                CommitPhase::AwaitGoQuorum => {
+                    let all_go = self.go_senders.len() == n;
+                    if !all_go && !self.timed_out(self.go_wait_start) {
+                        break;
+                    }
+                    if !all_go {
+                        // Instruction 6: not everyone checked in — abort.
+                        self.vote = Value::Zero;
+                    }
+                    // Instruction 7: broadcast the vote; a processor whose
+                    // vote is abort may implement the abort right away.
+                    self.votes.insert(self.id, self.vote);
+                    out.push(CommitKind::Vote(self.vote));
+                    if self.vote == Value::Zero && self.cfg.early_abort() {
+                        self.decided.get_or_insert(Value::Zero);
+                        self.early_abort = true;
+                    }
+                    self.vote_wait_start = Some(self.clock);
+                    self.phase = CommitPhase::AwaitVotes;
+                }
+                CommitPhase::AwaitVotes => {
+                    let all_votes = self.votes.len() == n;
+                    if !all_votes && !self.timed_out(self.vote_wait_start) {
+                        break;
+                    }
+                    // Instructions 9–11: x_p = 1 iff n commit votes.
+                    let xp = if all_votes && self.votes.values().all(|v| *v == Value::One) {
+                        Value::One
+                    } else {
+                        Value::Zero
+                    };
+                    self.agreement_input = Some(xp);
+                    let coins = self
+                        .coins
+                        .clone()
+                        .expect("coins known before the vote wait");
+                    let mut agreement =
+                        Agreement::new(self.id, n, self.cfg.fault_bound(), xp, coins);
+                    for msg in agreement.start() {
+                        out.push(CommitKind::Agree(msg));
+                    }
+                    for (from, msg) in self.pending_agree.drain(..) {
+                        agreement.ingest(from, msg);
+                    }
+                    self.agreement = Some(agreement);
+                    self.phase = CommitPhase::Agreeing;
+                }
+                CommitPhase::Agreeing => {
+                    let agreement = self.agreement.as_mut().expect("agreement started");
+                    for msg in agreement.poll(rng) {
+                        out.push(CommitKind::Agree(msg));
+                    }
+                    if let Some((v, _)) = agreement.decision() {
+                        // Instructions 13–15: the fate of the transaction.
+                        let prior = *self.decided.get_or_insert(v);
+                        debug_assert_eq!(
+                            prior, v,
+                            "protocol 1 outcome contradicts the early abort"
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Automaton for CommitAutomaton {
+    type Msg = CommitMsg;
+
+    fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Delivery<CommitMsg>],
+        rng: &mut StepRng,
+    ) -> Vec<Send<CommitMsg>> {
+        self.clock += 1;
+        for d in delivered {
+            self.ingest(d);
+        }
+        // A processor that adopted a broadcast decision no longer runs
+        // the protocol (it is silent except for its own one-shot relay).
+        let mut kinds = if self.adopted {
+            Vec::new()
+        } else {
+            self.advance(rng)
+        };
+        // Decision-broadcast extension: announce once, first thing after
+        // deciding (whether by protocol or by adoption).
+        if self.cfg.decision_broadcast() && !self.decision_sent {
+            if let Some(v) = self.decided {
+                kinds.push(CommitKind::Decided(v));
+                self.decision_sent = true;
+            }
+        }
+        if kinds.is_empty() && self.agreement.as_ref().is_some_and(Agreement::halted) {
+            // Returned from Protocol 1 with nothing left to say: silent.
+            // (The broadcasts produced in the very step the return fires
+            // are still sent — discarding them could starve a straggler
+            // of its last quorum message.)
+            return Vec::new();
+        }
+        if kinds.is_empty() {
+            return Vec::new();
+        }
+        // The paper piggybacks GO on every message; the ablation switch
+        // restricts the coins to explicit GO messages only.
+        let go = if self.cfg.piggyback_go() || kinds.contains(&CommitKind::Go) {
+            self.coins.clone()
+        } else {
+            None
+        };
+        let n = self.cfg.population();
+        ProcessorId::all(n)
+            .filter(|q| *q != self.id)
+            .map(|q| {
+                Send::new(
+                    q,
+                    CommitMsg {
+                        go: go.clone(),
+                        kinds: kinds.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn status(&self) -> Status {
+        match self.decided {
+            None => Status::Undecided,
+            Some(v) => {
+                let halted_by_return = self.agreement.as_ref().is_some_and(Agreement::halted);
+                let halted_by_adoption = self.adopted && self.decision_sent;
+                if halted_by_return || halted_by_adoption {
+                    Status::Halted(v)
+                } else {
+                    Status::Decided(v)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CommitAutomaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommitAutomaton")
+            .field("id", &self.id)
+            .field("clock", &self.clock)
+            .field("phase", &self.phase)
+            .field("vote", &self.vote)
+            .field("decided", &self.decided)
+            .finish()
+    }
+}
+
+/// Builds the full population of commit automata from per-processor
+/// initial votes.
+///
+/// # Panics
+///
+/// Panics if `initial_votes.len()` differs from the configured
+/// population.
+pub fn commit_population(cfg: CommitConfig, initial_votes: &[Value]) -> Vec<CommitAutomaton> {
+    assert_eq!(
+        initial_votes.len(),
+        cfg.population(),
+        "one initial vote per processor"
+    );
+    initial_votes
+        .iter()
+        .enumerate()
+        .map(|(i, v)| CommitAutomaton::new(cfg, ProcessorId::new(i), *v))
+        .collect()
+}
+
+/// Convenience: the decision every processor reached, if any.
+pub fn decisions_of(statuses: &[Status]) -> Vec<Option<Decision>> {
+    statuses.iter().map(|s| s.decision()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_model::{SeedCollection, TimingParams};
+    use rtc_sim::adversaries::{
+        CrashAdversary, CrashPlan, DropPolicy, RandomAdversary, SynchronousAdversary,
+    };
+    use rtc_sim::{RunLimits, SimBuilder};
+
+    use super::*;
+
+    fn cfg(n: usize, t: usize) -> CommitConfig {
+        CommitConfig::new(n, t, TimingParams::default()).unwrap()
+    }
+
+    fn run_sync(cfgv: CommitConfig, votes: &[Value], seed: u64) -> Vec<Option<Decision>> {
+        let procs = commit_population(cfgv, votes);
+        let mut sim = SimBuilder::new(cfgv.timing(), SeedCollection::new(seed))
+            .fault_budget(cfgv.fault_bound())
+            .build(procs)
+            .unwrap();
+        let report = sim
+            .run(
+                &mut SynchronousAdversary::new(cfgv.population()),
+                RunLimits::default(),
+            )
+            .unwrap();
+        assert!(!report.stalled(), "synchronous run must terminate");
+        decisions_of(report.statuses())
+    }
+
+    #[test]
+    fn unanimous_commit_commits() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let t = CommitConfig::max_tolerated(n);
+            let decisions = run_sync(cfg(n, t), &vec![Value::One; n], 7);
+            assert!(
+                decisions.iter().all(|d| *d == Some(Decision::Commit)),
+                "n = {n}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_initial_abort_aborts() {
+        for bad in 0..5usize {
+            let mut votes = vec![Value::One; 5];
+            votes[bad] = Value::Zero;
+            let decisions = run_sync(cfg(5, 2), &votes, 13 + bad as u64);
+            assert!(
+                decisions.iter().all(|d| *d == Some(Decision::Abort)),
+                "aborter {bad}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_abort_aborts() {
+        let decisions = run_sync(cfg(4, 1), &[Value::Zero; 4], 3);
+        assert!(decisions.iter().all(|d| *d == Some(Decision::Abort)));
+    }
+
+    #[test]
+    fn random_schedules_preserve_agreement() {
+        for seed in 0..30u64 {
+            let c = cfg(5, 2);
+            let votes = [Value::One, Value::One, Value::Zero, Value::One, Value::One];
+            let procs = commit_population(c, &votes);
+            let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(seed))
+                .fault_budget(c.fault_bound())
+                .build(procs)
+                .unwrap();
+            let mut adv = RandomAdversary::new(seed)
+                .deliver_prob(0.6)
+                .crash_prob(0.002);
+            let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+            assert!(report.agreement_holds(), "seed {seed}");
+            assert!(report.all_nonfaulty_decided(), "seed {seed} stalled");
+            // Initial abort present => decision must be abort.
+            for s in report.statuses() {
+                if let Some(d) = s.decision() {
+                    assert_eq!(d, Decision::Abort, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_mid_broadcast_still_safe_and_live() {
+        let c = cfg(5, 2);
+        let procs = commit_population(c, &[Value::One; 5]);
+        let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(99))
+            .fault_budget(c.fault_bound())
+            .build(procs)
+            .unwrap();
+        // Let the coordinator take exactly one step (broadcasting GO),
+        // then crash it, dropping the GO to processors 3 and 4.
+        let mut adv = CrashAdversary::new(
+            SynchronousAdversary::new(5),
+            vec![CrashPlan {
+                at_event: 1,
+                victim: ProcessorId::COORDINATOR,
+                drop: DropPolicy::DropTo(vec![ProcessorId::new(3), ProcessorId::new(4)]),
+            }],
+        );
+        let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+        // The survivors never heard GO from the dead coordinator's
+        // victims in time... they must all agree either way; with GO
+        // missing for some, the decision is abort.
+        let survivors: Vec<Decision> = report
+            .statuses()
+            .iter()
+            .skip(1)
+            .filter_map(|s| s.decision())
+            .collect();
+        assert!(survivors.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn early_abort_is_flagged_and_consistent() {
+        let c = cfg(3, 1);
+        let mut votes = vec![Value::One; 3];
+        votes[2] = Value::Zero;
+        let procs = commit_population(c, &votes);
+        let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(5))
+            .fault_budget(c.fault_bound())
+            .build(procs)
+            .unwrap();
+        let report = sim
+            .run(&mut SynchronousAdversary::new(3), RunLimits::default())
+            .unwrap();
+        assert!(report.agreement_holds());
+        assert!(sim.automaton(ProcessorId::new(2)).early_aborted());
+        assert_eq!(
+            sim.automaton(ProcessorId::new(2)).agreement_input(),
+            Some(Value::Zero)
+        );
+    }
+
+    #[test]
+    fn decision_broadcast_halts_everyone() {
+        let c = cfg(5, 2).with_decision_broadcast(true);
+        let procs = commit_population(c, &[Value::One; 5]);
+        let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(31))
+            .fault_budget(c.fault_bound())
+            .build(procs)
+            .unwrap();
+        let limits = rtc_sim::RunLimits {
+            max_events: 100_000,
+            stop: rtc_sim::StopWhen::AllNonfaultyHalted,
+        };
+        let report = sim.run(&mut SynchronousAdversary::new(5), limits).unwrap();
+        assert!(
+            !report.stalled(),
+            "the extension guarantees every processor halts"
+        );
+        assert!(report
+            .statuses()
+            .iter()
+            .all(|s| matches!(s, rtc_model::Status::Halted(Value::One))));
+    }
+
+    #[test]
+    fn decision_broadcast_preserves_safety_under_random_schedules() {
+        for seed in 0..20u64 {
+            let c = cfg(5, 2).with_decision_broadcast(true);
+            let votes = [Value::One, Value::One, Value::Zero, Value::One, Value::One];
+            let procs = commit_population(c, &votes);
+            let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(seed))
+                .fault_budget(c.fault_bound())
+                .build(procs)
+                .unwrap();
+            let mut adv = RandomAdversary::new(seed)
+                .deliver_prob(0.5)
+                .crash_prob(0.008);
+            let report = sim.run(&mut adv, rtc_sim::RunLimits::default()).unwrap();
+            assert!(report.agreement_holds(), "seed {seed}");
+            assert!(report.all_nonfaulty_decided(), "seed {seed}");
+            for s in report.statuses() {
+                if let Some(d) = s.decision() {
+                    assert_eq!(d, Decision::Abort, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn population_builder_checks_vote_count() {
+        let c = cfg(3, 1);
+        let result = std::panic::catch_unwind(|| commit_population(c, &[Value::One; 2]));
+        assert!(result.is_err());
+    }
+}

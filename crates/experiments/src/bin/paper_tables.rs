@@ -1,0 +1,42 @@
+//! Regenerates every experiment table in `EXPERIMENTS.md`.
+//!
+//! Usage: `paper-tables [--quick]`.
+
+use std::time::Instant;
+
+use rtc_experiments::{run_all, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_uppercase());
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let started = Instant::now();
+    println!("# Reproduced experiments — Coan & Lundelius, PODC 1986");
+    println!();
+    println!(
+        "Effort: {}. Regenerate with `cargo run -p rtc-experiments --bin paper_tables --release{}`.",
+        if quick { "quick" } else { "full" },
+        if quick { " -- --quick" } else { "" }
+    );
+    let mut matched = false;
+    for result in run_all(effort) {
+        if let Some(only) = &only {
+            if result.id != only {
+                continue;
+            }
+        }
+        matched = true;
+        println!();
+        println!("{result}");
+        eprintln!("[{:>8.1?}] finished {}", started.elapsed(), result.id);
+    }
+    if !matched {
+        eprintln!("no experiment matched --only {}", only.unwrap_or_default());
+        std::process::exit(1);
+    }
+}

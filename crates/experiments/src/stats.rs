@@ -1,0 +1,151 @@
+//! Small-sample statistics for Monte-Carlo experiment results.
+
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Summarizes integer samples.
+    pub fn of_u64(samples: &[u64]) -> Option<Summary> {
+        let as_f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&as_f)
+    }
+
+    /// Half-width of the 95% normal-approximation confidence interval of
+    /// the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} ± {:.2} (p50 {:.1}, p95 {:.1}, max {:.1}, n = {})",
+            self.mean,
+            self.ci95(),
+            self.p50,
+            self.p95,
+            self.max,
+            self.count
+        )
+    }
+}
+
+/// Linear-interpolated percentile of a pre-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The fraction of `hits` over `total`, as a percentage string.
+pub fn rate(hits: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+        // Bessel-corrected std dev of 1..4 is sqrt(5/3).
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_eq!(percentile(&sorted, 0.0), 0.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn of_u64_converts() {
+        let s = Summary::of_u64(&[2, 4]).unwrap();
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn rate_formats() {
+        assert_eq!(rate(1, 4), "25.0%");
+        assert_eq!(rate(0, 0), "n/a");
+    }
+}

@@ -1,0 +1,155 @@
+//! Markdown table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned markdown table.
+///
+/// # Example
+///
+/// ```
+/// use rtc_experiments::Table;
+///
+/// let mut t = Table::new(vec!["n", "mean"]);
+/// t.row(vec!["4".into(), "2.1".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| n | mean |"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// One reproduced experiment: identification, the paper's claim, the
+/// measured table, and commentary.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// The experiment id from `DESIGN.md` (e.g. "T1", "F3").
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The paper's claim being tested.
+    pub claim: &'static str,
+    /// The measured table.
+    pub table: Table,
+    /// Free-form notes (caveats, substitutions, verdict).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Renders the full experiment section as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## {} — {}\n\n**Paper claim.** {}\n\n",
+            self.id, self.title, self.claim
+        );
+        out.push_str(&self.table.to_markdown());
+        for note in &self.notes {
+            out.push_str("\n> ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_pipes_and_separator() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn experiment_result_renders_sections() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["7".into()]);
+        let r = ExperimentResult {
+            id: "T1",
+            title: "demo",
+            claim: "something holds",
+            table: t,
+            notes: vec!["caveat".into()],
+        };
+        let md = r.to_markdown();
+        assert!(md.contains("## T1 — demo"));
+        assert!(md.contains("**Paper claim.** something holds"));
+        assert!(md.contains("> caveat"));
+    }
+}

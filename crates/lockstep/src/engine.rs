@@ -1,0 +1,425 @@
+//! The lockstep engine: round-robin turns, cycles, failure steps.
+
+use std::fmt;
+
+use rtc_model::{Automaton, Delivery, LocalClock, ProcessorId, SeedCollection, Status, Value};
+
+use crate::policy::{DeliveryPolicy, PartitionPolicy, TurnAction};
+use crate::schedule::Schedule;
+
+/// A buffered lockstep message.
+#[derive(Clone, Debug)]
+struct LsMsg<M> {
+    from: ProcessorId,
+    sent_cycle: u64,
+    payload: M,
+}
+
+/// What one turn looked like, for observable-equality arguments in the
+/// style of the paper's Lemma 12.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservedTurn<M> {
+    /// Whose turn it was.
+    pub p: ProcessorId,
+    /// Whether this was a failure step.
+    pub failed: bool,
+    /// Tags `(sender, send_cycle)` of the delivered messages.
+    pub delivered: Vec<(ProcessorId, u64)>,
+    /// Messages sent at this turn.
+    pub sent: Vec<(ProcessorId, M)>,
+    /// The processor's status after the turn.
+    pub status_after: Status,
+}
+
+/// Summary of a finished lockstep run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Final status per processor.
+    pub statuses: Vec<Status>,
+    /// The cycle in which each processor decided, if it did.
+    pub decision_cycles: Vec<Option<u64>>,
+    /// Whether every non-failed processor decided.
+    pub all_nonfaulty_decided: bool,
+}
+
+impl RunSummary {
+    /// Whether at most one distinct value was decided.
+    pub fn agreement_holds(&self) -> bool {
+        let mut vals: Vec<Value> = self.statuses.iter().filter_map(|s| s.value()).collect();
+        vals.sort();
+        vals.dedup();
+        vals.len() <= 1
+    }
+}
+
+/// The lockstep simulator (see the crate docs for the model).
+#[derive(Clone)]
+pub struct LockstepSim<A: Automaton> {
+    autos: Vec<A>,
+    crashed: Vec<bool>,
+    clocks: Vec<LocalClock>,
+    buffers: Vec<Vec<LsMsg<A::Msg>>>,
+    decision_cycles: Vec<Option<u64>>,
+    cycle: u64,
+    turn: usize,
+    seeds: SeedCollection,
+    history: Vec<ObservedTurn<A::Msg>>,
+    record_history: bool,
+}
+
+impl<A: Automaton> fmt::Debug for LockstepSim<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockstepSim")
+            .field("population", &self.autos.len())
+            .field("cycle", &self.cycle)
+            .field("turn", &self.turn)
+            .finish()
+    }
+}
+
+impl<A: Automaton> LockstepSim<A> {
+    /// Creates the engine over one automaton per processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or ids are not `0..n` in order.
+    pub fn new(procs: Vec<A>, seeds: SeedCollection) -> LockstepSim<A> {
+        let n = procs.len();
+        assert!(n > 0, "population must be nonempty");
+        for (i, a) in procs.iter().enumerate() {
+            assert_eq!(a.id(), ProcessorId::new(i), "ids must be dense and ordered");
+        }
+        LockstepSim {
+            autos: procs,
+            crashed: vec![false; n],
+            clocks: vec![LocalClock::ZERO; n],
+            buffers: (0..n).map(|_| Vec::new()).collect(),
+            decision_cycles: vec![None; n],
+            cycle: 0,
+            turn: 0,
+            seeds,
+            history: Vec::new(),
+            record_history: true,
+        }
+    }
+
+    /// Disables per-turn history recording (faster exploration).
+    #[must_use]
+    pub fn without_history(mut self) -> LockstepSim<A> {
+        self.record_history = false;
+        self
+    }
+
+    /// Number of processors.
+    pub fn population(&self) -> usize {
+        self.autos.len()
+    }
+
+    /// The current cycle (completed rotations of the round-robin).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The per-turn history (empty when disabled).
+    pub fn history(&self) -> &[ObservedTurn<A::Msg>] {
+        &self.history
+    }
+
+    /// The subsequence of history involving `group` — the paper's
+    /// `run | S` view used by Lemma-12-style comparisons.
+    pub fn history_of(&self, group: &[ProcessorId]) -> Vec<&ObservedTurn<A::Msg>> {
+        self.history
+            .iter()
+            .filter(|t| group.contains(&t.p))
+            .collect()
+    }
+
+    /// Current statuses.
+    pub fn statuses(&self) -> Vec<Status> {
+        self.autos.iter().map(Automaton::status).collect()
+    }
+
+    fn due_tags(&self, p: ProcessorId, delay: u64) -> Vec<(ProcessorId, u64)> {
+        self.buffers[p.index()]
+            .iter()
+            .filter(|m| self.cycle.saturating_sub(m.sent_cycle) >= delay)
+            .map(|m| (m.from, m.sent_cycle))
+            .collect()
+    }
+
+    /// Executes the next turn under `action`. `delay` interprets
+    /// [`TurnAction::DeliverDue`].
+    pub fn step_turn(&mut self, action: &TurnAction, delay: u64) {
+        debug_assert!(delay >= 1, "lockstep delays are at least 1");
+        let i = self.turn;
+        let p = ProcessorId::new(i);
+        let mut observed = ObservedTurn {
+            p,
+            failed: false,
+            delivered: Vec::new(),
+            sent: Vec::new(),
+            status_after: self.autos[i].status(),
+        };
+        if self.crashed[i] || *action == TurnAction::Fail {
+            self.crashed[i] = true;
+            observed.failed = true;
+        } else {
+            let tags: Vec<(ProcessorId, u64)> = match action {
+                TurnAction::DeliverDue => self.due_tags(p, delay),
+                TurnAction::Silent => Vec::new(),
+                TurnAction::Tagged(tags) => tags.clone(),
+                TurnAction::Fail => unreachable!("handled above"),
+            };
+            let mut delivered: Vec<Delivery<A::Msg>> = Vec::with_capacity(tags.len());
+            for tag in &tags {
+                if let Some(pos) = self.buffers[i]
+                    .iter()
+                    .position(|m| (m.from, m.sent_cycle) == *tag)
+                {
+                    let msg = self.buffers[i].remove(pos);
+                    delivered.push(Delivery::new(msg.from, msg.payload));
+                    observed.delivered.push(*tag);
+                }
+            }
+            let mut rng = self.seeds.step_rng(p, self.clocks[i]);
+            let outs = self.autos[i].step(&delivered, &mut rng);
+            self.clocks[i] = self.clocks[i].tick();
+            for out in outs {
+                if self.record_history {
+                    observed.sent.push((out.to, out.msg.clone()));
+                }
+                self.buffers[out.to.index()].push(LsMsg {
+                    from: p,
+                    sent_cycle: self.cycle,
+                    payload: out.msg,
+                });
+            }
+            if self.decision_cycles[i].is_none() && self.autos[i].status().is_decided() {
+                self.decision_cycles[i] = Some(self.cycle);
+            }
+        }
+        observed.status_after = self.autos[i].status();
+        if self.record_history {
+            self.history.push(observed);
+        }
+        self.turn += 1;
+        if self.turn == self.autos.len() {
+            self.turn = 0;
+            self.cycle += 1;
+        }
+    }
+
+    fn summary(&self) -> RunSummary {
+        let statuses = self.statuses();
+        let all = statuses
+            .iter()
+            .zip(&self.crashed)
+            .all(|(s, c)| *c || s.is_decided());
+        RunSummary {
+            cycles: self.cycle,
+            statuses,
+            decision_cycles: self.decision_cycles.clone(),
+            all_nonfaulty_decided: all,
+        }
+    }
+
+    /// Runs under a policy until every non-failed processor decides or
+    /// `max_cycles` elapse; returns the recorded schedule and summary.
+    pub fn run_policy(
+        &mut self,
+        policy: &mut dyn DeliveryPolicy,
+        max_cycles: u64,
+    ) -> (Schedule, RunSummary) {
+        let n = self.autos.len();
+        let mut turns = Vec::new();
+        let end = self.cycle + max_cycles;
+        while self.cycle < end {
+            let p = ProcessorId::new(self.turn);
+            let action = if self.crashed[self.turn] {
+                TurnAction::Fail
+            } else {
+                policy.choose(p, self.cycle)
+            };
+            self.step_turn(&action, policy.delay());
+            turns.push(action);
+            if self.turn == 0 && self.done() {
+                break;
+            }
+        }
+        (Schedule::new(n, turns), self.summary())
+    }
+
+    /// Replays an explicit schedule (e.g. one produced by `run_policy`
+    /// and transformed with `kill`/`deafen`).
+    pub fn run_schedule(&mut self, schedule: &Schedule, delay: u64) -> RunSummary {
+        assert_eq!(schedule.population(), self.autos.len());
+        for action in schedule.turns() {
+            self.step_turn(action, delay);
+        }
+        self.summary()
+    }
+
+    /// Runs under the Theorem 14 partition: intergroup messages are
+    /// never delivered, intragroup delay is 1.
+    pub fn run_partition(
+        &mut self,
+        partition: &PartitionPolicy,
+        max_cycles: u64,
+    ) -> (Schedule, RunSummary) {
+        let n = self.autos.len();
+        let mut turns = Vec::new();
+        let end = self.cycle + max_cycles;
+        while self.cycle < end {
+            let p = ProcessorId::new(self.turn);
+            let action = if self.crashed[self.turn] {
+                TurnAction::Fail
+            } else {
+                let tags = self
+                    .due_tags(p, 1)
+                    .into_iter()
+                    .filter(|(from, _)| partition.same_side(*from, p))
+                    .collect();
+                TurnAction::Tagged(tags)
+            };
+            self.step_turn(&action, 1);
+            turns.push(action);
+            if self.turn == 0 && self.done() {
+                break;
+            }
+        }
+        (Schedule::new(n, turns), self.summary())
+    }
+
+    fn done(&self) -> bool {
+        self.autos
+            .iter()
+            .zip(&self.crashed)
+            .all(|(a, c)| *c || a.status().is_decided())
+    }
+}
+
+impl<A: Automaton> LockstepSim<A>
+where
+    A::Msg: PartialEq,
+{
+    /// Lemma-12-style check: do two runs look identical to `group`?
+    /// (Same turn-by-turn deliveries, sends, and statuses for every
+    /// processor in the group.)
+    pub fn observably_equal_for(&self, other: &LockstepSim<A>, group: &[ProcessorId]) -> bool {
+        let a = self.history_of(group);
+        let b = other.history_of(group);
+        a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x == y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_core::{commit_population, CommitConfig};
+    use rtc_model::TimingParams;
+
+    use super::*;
+    use crate::policy::UniformDelayPolicy;
+
+    fn sim(n: usize, votes: &[Value], seed: u64) -> LockstepSim<rtc_core::CommitAutomaton> {
+        let cfg =
+            CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap();
+        LockstepSim::new(commit_population(cfg, votes), SeedCollection::new(seed))
+    }
+
+    #[test]
+    fn delay_one_run_commits_unanimous_input() {
+        let mut s = sim(4, &[Value::One; 4], 3);
+        let (schedule, summary) = s.run_policy(&mut UniformDelayPolicy::new(1), 200);
+        assert!(summary.all_nonfaulty_decided);
+        assert!(summary.agreement_holds());
+        assert!(summary
+            .statuses
+            .iter()
+            .all(|st| st.value() == Some(Value::One)));
+        assert!(schedule.cycles() > 0);
+    }
+
+    #[test]
+    fn replaying_the_recorded_schedule_reproduces_the_run() {
+        let mut original = sim(3, &[Value::One; 3], 9);
+        let (schedule, summary) = original.run_policy(&mut UniformDelayPolicy::new(1), 200);
+        let mut replay = sim(3, &[Value::One; 3], 9);
+        let replayed = replay.run_schedule(&schedule, 1);
+        assert_eq!(summary.statuses, replayed.statuses);
+        assert_eq!(summary.decision_cycles, replayed.decision_cycles);
+        let everyone: Vec<ProcessorId> = ProcessorId::all(3).collect();
+        assert!(original.observably_equal_for(&replay, &everyone));
+    }
+
+    #[test]
+    fn slow_delivery_stretches_decision_cycles() {
+        let mut fast = sim(3, &[Value::One; 3], 1);
+        let (_, fast_summary) = fast.run_policy(&mut UniformDelayPolicy::new(1), 2_000);
+        let mut slow = sim(3, &[Value::One; 3], 1);
+        let (_, slow_summary) = slow.run_policy(&mut UniformDelayPolicy::new(8), 2_000);
+        assert!(fast_summary.all_nonfaulty_decided && slow_summary.all_nonfaulty_decided);
+        assert!(
+            slow_summary.cycles > fast_summary.cycles,
+            "x = 8 should take more cycles than x = 1 ({} vs {})",
+            slow_summary.cycles,
+            fast_summary.cycles
+        );
+    }
+
+    #[test]
+    fn failure_steps_stop_a_processor_but_not_the_run() {
+        let mut s = sim(5, &[Value::One; 5], 4);
+        let mut policy = crate::policy::KillPolicy::new(
+            UniformDelayPolicy::new(1),
+            vec![ProcessorId::new(4)],
+            2,
+        );
+        let (schedule, summary) = s.run_policy(&mut policy, 500);
+        assert!(summary.all_nonfaulty_decided);
+        assert!(summary.agreement_holds());
+        assert!(summary.statuses[4].value().is_none() || summary.agreement_holds());
+        // The recorded schedule contains explicit failure steps for p4.
+        assert!(schedule.turns().iter().enumerate().any(
+            |(i, a)| *a == TurnAction::Fail && schedule.processor_of(i) == ProcessorId::new(4)
+        ));
+    }
+
+    #[test]
+    fn deafened_processors_send_but_never_hear() {
+        let mut s = sim(3, &[Value::One; 3], 5);
+        let mut policy =
+            crate::policy::DeafenPolicy::new(UniformDelayPolicy::new(1), vec![ProcessorId::new(2)]);
+        let (_, summary) = s.run_policy(&mut policy, 100);
+        // p2 never receives GO, so it never wakes; the others lack its
+        // GO and vote abort; p2 itself stays undecided.
+        assert!(summary.statuses[2].value().is_none());
+        for turn in s.history_of(&[ProcessorId::new(2)]) {
+            assert!(turn.delivered.is_empty());
+        }
+        assert!(summary.agreement_holds());
+    }
+
+    #[test]
+    fn partition_stalls_but_stays_safe_in_lockstep_too() {
+        let mut s = sim(4, &[Value::One; 4], 6);
+        let policy = PartitionPolicy::new(4, &[ProcessorId::new(0), ProcessorId::new(1)]);
+        let (_, summary) = s.run_partition(&policy, 300);
+        assert!(
+            !summary.all_nonfaulty_decided,
+            "the cut-off side cannot decide"
+        );
+        assert!(summary.agreement_holds());
+    }
+
+    #[test]
+    fn runs_are_pure_functions_of_f() {
+        let run = |seed: u64| {
+            let mut s = sim(3, &[Value::One; 3], seed);
+            let (_, summary) = s.run_policy(&mut UniformDelayPolicy::new(2), 500);
+            (summary.cycles, summary.decision_cycles)
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

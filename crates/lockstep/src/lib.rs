@@ -1,0 +1,45 @@
+//! The stronger model of the paper's lower-bound sections (4 and 5):
+//! lockstep-synchronous processors with atomic turn order.
+//!
+//! The lower bounds are proved against a model *stronger* than the one
+//! the protocol runs in — if no protocol works even with lockstep
+//! synchrony and round-robin turns, none works in the weaker almost
+//! asynchronous model. Concretely (Section 4):
+//!
+//! * processors take steps in round-robin order `p1 … pn`; one full
+//!   rotation is a *cycle*;
+//! * a failure is an explicit *failure step* `(p, ⊥, f)`; after it the
+//!   processor is in a distinguished failed state but still consumes
+//!   its turns;
+//! * every message carries the cycle in which it was sent; its *delay*
+//!   is the receiving cycle minus that, and all delays are at least 1
+//!   (lockstep synchrony);
+//! * a schedule is the sequence of per-turn choices; the paper's proof
+//!   machinery transforms schedules with [`Schedule::kill`] (replace a
+//!   group's events by failure steps) and [`Schedule::deafen`] (replace
+//!   their deliveries by `∅`).
+//!
+//! This crate makes all of that executable: [`LockstepSim`] drives any
+//! [`rtc_model::Automaton`] under a [`DeliveryPolicy`] or an explicit
+//! recorded [`Schedule`], runs are reproducible functions of the seed
+//! collection `F`, and the [`valency`] module classifies configurations
+//! as 0-, 1-, or bivalent over `x`-slow `F`-compatible schedule spaces
+//! — the notion at the heart of the paper's Lemma 15–Theorem 17
+//! argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod engine;
+pub mod modelcheck;
+mod phases;
+mod policy;
+mod schedule;
+pub mod valency;
+
+pub use engine::{LockstepSim, ObservedTurn, RunSummary};
+pub use phases::{phase_decomposition, FlowDirection, Phase};
+pub use policy::{
+    DeafenPolicy, DeliveryPolicy, KillPolicy, PartitionPolicy, TurnAction, UniformDelayPolicy,
+};
+pub use schedule::Schedule;

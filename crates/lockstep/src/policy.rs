@@ -1,0 +1,210 @@
+//! Per-turn actions and delivery policies for the lockstep engine.
+
+use std::fmt;
+
+use rtc_model::ProcessorId;
+
+/// What happens at one turn of the round-robin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TurnAction {
+    /// The processor steps, receiving every *due* buffered message
+    /// (due = sent at least the policy's delay ago; always ≥ 1 cycle).
+    DeliverDue,
+    /// The processor steps with the empty message set (the paper's
+    /// deafened event `(p, ∅, f)`).
+    Silent,
+    /// The processor steps, receiving exactly the buffered messages
+    /// identified by `(sender, send_cycle)` tags — stable under the
+    /// schedule transformations, which only remove messages.
+    Tagged(Vec<(ProcessorId, u64)>),
+    /// An explicit failure step `(p, ⊥, f)`; the processor is failed
+    /// from here on but keeps consuming its turns.
+    Fail,
+}
+
+/// Chooses the [`TurnAction`] for each turn while a policy-driven run
+/// unfolds. The engine records the chosen actions as a
+/// [`crate::Schedule`], so any policy run can be replayed or
+/// transformed afterwards.
+pub trait DeliveryPolicy {
+    /// The action for processor `p`'s turn in cycle `cycle`.
+    fn choose(&mut self, p: ProcessorId, cycle: u64) -> TurnAction;
+
+    /// The delay (in cycles) a message must age before `DeliverDue`
+    /// picks it up. Must be at least 1 (lockstep synchrony).
+    fn delay(&self) -> u64 {
+        1
+    }
+}
+
+/// All messages delivered with uniform delay `x` — the paper's
+/// `x`-slow runs (Section 5). `x = 1` is the fastest schedule the
+/// lockstep model permits.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformDelayPolicy {
+    x: u64,
+}
+
+impl UniformDelayPolicy {
+    /// A policy with delay `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`; lockstep delays are at least 1.
+    pub fn new(x: u64) -> UniformDelayPolicy {
+        assert!(x >= 1, "lockstep message delays are at least 1 cycle");
+        UniformDelayPolicy { x }
+    }
+}
+
+impl DeliveryPolicy for UniformDelayPolicy {
+    fn choose(&mut self, _p: ProcessorId, _cycle: u64) -> TurnAction {
+        TurnAction::DeliverDue
+    }
+
+    fn delay(&self) -> u64 {
+        self.x
+    }
+}
+
+/// Fails every processor in `victims` from cycle `at_cycle` on;
+/// everything else follows the inner policy.
+pub struct KillPolicy<P> {
+    inner: P,
+    victims: Vec<ProcessorId>,
+    at_cycle: u64,
+}
+
+impl<P: DeliveryPolicy> KillPolicy<P> {
+    /// Wraps `inner`, failing `victims` from `at_cycle`.
+    pub fn new(inner: P, victims: Vec<ProcessorId>, at_cycle: u64) -> KillPolicy<P> {
+        KillPolicy {
+            inner,
+            victims,
+            at_cycle,
+        }
+    }
+}
+
+impl<P: DeliveryPolicy> DeliveryPolicy for KillPolicy<P> {
+    fn choose(&mut self, p: ProcessorId, cycle: u64) -> TurnAction {
+        if cycle >= self.at_cycle && self.victims.contains(&p) {
+            TurnAction::Fail
+        } else {
+            self.inner.choose(p, cycle)
+        }
+    }
+
+    fn delay(&self) -> u64 {
+        self.inner.delay()
+    }
+}
+
+impl<P: fmt::Debug> fmt::Debug for KillPolicy<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KillPolicy")
+            .field("inner", &self.inner)
+            .field("victims", &self.victims)
+            .field("at_cycle", &self.at_cycle)
+            .finish()
+    }
+}
+
+/// Deafens every processor in `victims` (they step but never receive);
+/// everything else follows the inner policy.
+pub struct DeafenPolicy<P> {
+    inner: P,
+    victims: Vec<ProcessorId>,
+}
+
+impl<P: DeliveryPolicy> DeafenPolicy<P> {
+    /// Wraps `inner`, deafening `victims`.
+    pub fn new(inner: P, victims: Vec<ProcessorId>) -> DeafenPolicy<P> {
+        DeafenPolicy { inner, victims }
+    }
+}
+
+impl<P: DeliveryPolicy> DeliveryPolicy for DeafenPolicy<P> {
+    fn choose(&mut self, p: ProcessorId, cycle: u64) -> TurnAction {
+        if self.victims.contains(&p) {
+            TurnAction::Silent
+        } else {
+            self.inner.choose(p, cycle)
+        }
+    }
+
+    fn delay(&self) -> u64 {
+        self.inner.delay()
+    }
+}
+
+impl<P: fmt::Debug> fmt::Debug for DeafenPolicy<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeafenPolicy")
+            .field("inner", &self.inner)
+            .field("victims", &self.victims)
+            .finish()
+    }
+}
+
+/// Intergroup messages are never delivered (the Theorem 14 cut) while
+/// intragroup traffic flows with delay 1.
+///
+/// Implemented via [`TurnAction::Tagged`]: the engine exposes the due
+/// buffer through the policy callback, so this policy is constructed
+/// with the group membership and filters inside the engine (see
+/// [`crate::LockstepSim::run_partition`]).
+#[derive(Clone, Debug)]
+pub struct PartitionPolicy {
+    in_group_a: Vec<bool>,
+}
+
+impl PartitionPolicy {
+    /// Cuts `group_a` off from the rest of a population of `n`.
+    pub fn new(n: usize, group_a: &[ProcessorId]) -> PartitionPolicy {
+        let mut in_group_a = vec![false; n];
+        for p in group_a {
+            in_group_a[p.index()] = true;
+        }
+        PartitionPolicy { in_group_a }
+    }
+
+    /// Whether `a` and `b` are on the same side of the cut.
+    pub fn same_side(&self, a: ProcessorId, b: ProcessorId) -> bool {
+        self.in_group_a[a.index()] == self.in_group_a[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_delay_is_rejected() {
+        let _ = UniformDelayPolicy::new(0);
+    }
+
+    #[test]
+    fn kill_policy_fails_victims_after_trigger() {
+        let mut p = KillPolicy::new(UniformDelayPolicy::new(1), vec![ProcessorId::new(1)], 2);
+        assert_eq!(p.choose(ProcessorId::new(1), 1), TurnAction::DeliverDue);
+        assert_eq!(p.choose(ProcessorId::new(1), 2), TurnAction::Fail);
+        assert_eq!(p.choose(ProcessorId::new(0), 9), TurnAction::DeliverDue);
+    }
+
+    #[test]
+    fn deafen_policy_silences_victims() {
+        let mut p = DeafenPolicy::new(UniformDelayPolicy::new(2), vec![ProcessorId::new(0)]);
+        assert_eq!(p.choose(ProcessorId::new(0), 5), TurnAction::Silent);
+        assert_eq!(p.choose(ProcessorId::new(1), 5), TurnAction::DeliverDue);
+        assert_eq!(p.delay(), 2);
+    }
+
+    #[test]
+    fn partition_sides() {
+        let p = PartitionPolicy::new(4, &[ProcessorId::new(0), ProcessorId::new(1)]);
+        assert!(p.same_side(ProcessorId::new(0), ProcessorId::new(1)));
+        assert!(!p.same_side(ProcessorId::new(1), ProcessorId::new(2)));
+    }
+}

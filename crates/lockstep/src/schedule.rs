@@ -1,0 +1,185 @@
+//! Schedules as data, and the paper's transformations over them.
+
+use rtc_model::ProcessorId;
+
+use crate::policy::TurnAction;
+
+/// A finite lockstep schedule: one [`TurnAction`] per turn, in
+/// round-robin order (`turn i` belongs to processor `i mod n`).
+///
+/// Recorded by [`crate::LockstepSim::run_policy`] and replayable with
+/// [`crate::LockstepSim::run_schedule`]; the paper's proof
+/// transformations are methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    n: usize,
+    turns: Vec<TurnAction>,
+}
+
+impl Schedule {
+    /// Creates a schedule over a population of `n` from explicit turns.
+    pub fn new(n: usize, turns: Vec<TurnAction>) -> Schedule {
+        Schedule { n, turns }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// The per-turn actions.
+    pub fn turns(&self) -> &[TurnAction] {
+        &self.turns
+    }
+
+    /// Number of turns.
+    pub fn len(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.turns.is_empty()
+    }
+
+    /// The processor whose turn the `i`-th event is.
+    pub fn processor_of(&self, i: usize) -> ProcessorId {
+        ProcessorId::new(i % self.n)
+    }
+
+    /// Number of complete cycles the schedule spans.
+    pub fn cycles(&self) -> u64 {
+        (self.turns.len() / self.n) as u64
+    }
+
+    /// The paper's `kill(S, σ)`: every event of a processor in `S`
+    /// becomes an explicit failure step.
+    #[must_use]
+    pub fn kill(&self, group: &[ProcessorId]) -> Schedule {
+        let turns = self
+            .turns
+            .iter()
+            .enumerate()
+            .map(|(i, action)| {
+                if group.contains(&self.processor_of(i)) {
+                    TurnAction::Fail
+                } else {
+                    action.clone()
+                }
+            })
+            .collect();
+        Schedule { n: self.n, turns }
+    }
+
+    /// The paper's `deafen(S, σ)`: every event of a processor in `S`
+    /// receives the empty message set (the processor still takes its
+    /// steps and may send).
+    #[must_use]
+    pub fn deafen(&self, group: &[ProcessorId]) -> Schedule {
+        let turns = self
+            .turns
+            .iter()
+            .enumerate()
+            .map(|(i, action)| {
+                if group.contains(&self.processor_of(i)) && *action != TurnAction::Fail {
+                    TurnAction::Silent
+                } else {
+                    action.clone()
+                }
+            })
+            .collect();
+        Schedule { n: self.n, turns }
+    }
+
+    /// The paper's `σ|S`: the subsequence of events involving `S`
+    /// (useful for Lemma-12-style comparisons; note the result is no
+    /// longer round-robin and is returned as bare actions).
+    pub fn restrict(&self, group: &[ProcessorId]) -> Vec<(ProcessorId, TurnAction)> {
+        self.turns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| group.contains(&self.processor_of(*i)))
+            .map(|(i, a)| (self.processor_of(i), a.clone()))
+            .collect()
+    }
+
+    /// Concatenates another schedule after this one.
+    #[must_use]
+    pub fn then(&self, rest: &Schedule) -> Schedule {
+        assert_eq!(self.n, rest.n, "schedules over different populations");
+        let mut turns = self.turns.clone();
+        turns.extend(rest.turns.iter().cloned());
+        Schedule { n: self.n, turns }
+    }
+
+    /// The prefix covering the first `cycles` complete cycles.
+    #[must_use]
+    pub fn prefix_cycles(&self, cycles: u64) -> Schedule {
+        let events = (cycles as usize * self.n).min(self.turns.len());
+        Schedule {
+            n: self.n,
+            turns: self.turns[..events].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TurnAction;
+
+    fn deliver_all() -> TurnAction {
+        TurnAction::DeliverDue
+    }
+
+    #[test]
+    fn processor_of_follows_round_robin() {
+        let s = Schedule::new(3, vec![deliver_all(); 7]);
+        assert_eq!(s.processor_of(0), ProcessorId::new(0));
+        assert_eq!(s.processor_of(4), ProcessorId::new(1));
+        assert_eq!(s.cycles(), 2);
+    }
+
+    #[test]
+    fn kill_replaces_group_turns_with_failures() {
+        let s = Schedule::new(2, vec![deliver_all(); 4]);
+        let killed = s.kill(&[ProcessorId::new(1)]);
+        assert_eq!(killed.turns()[0], deliver_all());
+        assert_eq!(killed.turns()[1], TurnAction::Fail);
+        assert_eq!(killed.turns()[3], TurnAction::Fail);
+    }
+
+    #[test]
+    fn deafen_keeps_failures_but_silences_deliveries() {
+        let s = Schedule::new(
+            2,
+            vec![
+                deliver_all(),
+                TurnAction::Fail,
+                deliver_all(),
+                deliver_all(),
+            ],
+        );
+        let deaf = s.deafen(&[ProcessorId::new(1)]);
+        assert_eq!(deaf.turns()[1], TurnAction::Fail);
+        assert_eq!(deaf.turns()[3], TurnAction::Silent);
+        assert_eq!(deaf.turns()[0], deliver_all());
+    }
+
+    #[test]
+    fn restrict_extracts_a_groups_events() {
+        let s = Schedule::new(3, vec![deliver_all(); 6]);
+        let only_p1 = s.restrict(&[ProcessorId::new(1)]);
+        assert_eq!(only_p1.len(), 2);
+        assert!(only_p1.iter().all(|(p, _)| *p == ProcessorId::new(1)));
+    }
+
+    #[test]
+    fn prefix_and_then_compose() {
+        let s = Schedule::new(2, vec![deliver_all(); 6]);
+        let head = s.prefix_cycles(1);
+        assert_eq!(head.len(), 2);
+        let double = head.then(&head);
+        assert_eq!(double.len(), 4);
+    }
+}

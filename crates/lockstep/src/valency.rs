@@ -1,0 +1,217 @@
+//! Valency classification over `x`-slow schedule spaces.
+//!
+//! Section 5 of the paper argues about `(x, F, V)`-valent
+//! configurations: `V` is the set of decision values reachable from a
+//! configuration by `x`-slow `F`-compatible runs. Lemma 15 shows that
+//! on the way from the all-ones initial configuration to a decided one
+//! there must be a *bivalent* configuration (`V = {0, 1}`), and
+//! Lemma 16/Theorem 17 leverage it to stretch decisions past any
+//! bound.
+//!
+//! This module classifies configurations empirically: it explores the
+//! tree of schedule choices (deliver-due vs. withhold at each turn) up
+//! to a branching depth, finishing every branch deterministically with
+//! the uniform `x`-slow policy, and reports the set of decision values
+//! observed. With the protocol and `F` fixed, every explored run is a
+//! genuine `x`-slow `F`-compatible run, so a report of
+//! [`Valency::Bivalent`] is a *certificate*: both decision values are
+//! actually reachable — the situation Lemma 15 proves unavoidable.
+
+use rtc_model::{Automaton, Value};
+
+use crate::engine::LockstepSim;
+use crate::policy::{TurnAction, UniformDelayPolicy};
+
+/// The set of decision values observed from a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Valency {
+    /// Only aborts (0) were reachable in the explored space.
+    Zero,
+    /// Only commits (1) were reachable in the explored space.
+    One,
+    /// Both values were reached: a certified bivalent configuration.
+    Bivalent,
+    /// No explored branch decided within the horizon.
+    Unknown,
+}
+
+impl Valency {
+    fn merge(self, value: Value) -> Valency {
+        match (self, value) {
+            (Valency::Unknown, Value::Zero) | (Valency::Zero, Value::Zero) => Valency::Zero,
+            (Valency::Unknown, Value::One) | (Valency::One, Value::One) => Valency::One,
+            _ => Valency::Bivalent,
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreParams {
+    /// The slowness bound `x` (delay of every delivery, in cycles).
+    pub x: u64,
+    /// Number of leading *cycles* at which the explorer branches
+    /// between delivering the due messages to everyone and withholding
+    /// them from everyone (coarse branching keeps the tree tractable
+    /// while still reaching both the prompt-delivery and the
+    /// timeout-triggering schedules).
+    pub branch_depth: usize,
+    /// Cycle budget for finishing each branch deterministically.
+    pub horizon_cycles: u64,
+}
+
+impl Default for ExploreParams {
+    fn default() -> ExploreParams {
+        ExploreParams {
+            x: 1,
+            branch_depth: 12,
+            horizon_cycles: 3_000,
+        }
+    }
+}
+
+/// Classifies the valency of `sim`'s current configuration over the
+/// explored `x`-slow schedule space.
+///
+/// The exploration is a *sound under-approximation* of the paper's
+/// valency: every value it reports reachable is reachable; a
+/// single-valent report only says the other value was not found within
+/// the explored space.
+pub fn classify<A>(sim: &LockstepSim<A>, params: ExploreParams) -> Valency
+where
+    A: Automaton + Clone,
+    A::Msg: Clone,
+{
+    let mut valency = Valency::Unknown;
+    explore(sim, params, params.branch_depth, &mut valency);
+    valency
+}
+
+fn explore<A>(sim: &LockstepSim<A>, params: ExploreParams, depth: usize, valency: &mut Valency)
+where
+    A: Automaton + Clone,
+    A::Msg: Clone,
+{
+    if *valency == Valency::Bivalent {
+        return; // already certified; prune
+    }
+    if depth == 0 {
+        let mut leaf = sim.clone();
+        let (_, summary) = leaf.run_policy(
+            &mut UniformDelayPolicy::new(params.x),
+            params.horizon_cycles,
+        );
+        for status in summary.statuses {
+            if let Some(v) = status.value() {
+                *valency = valency.merge(v);
+            }
+        }
+        return;
+    }
+    for action in [TurnAction::DeliverDue, TurnAction::Silent] {
+        let mut next = sim.clone();
+        for _ in 0..next.population() {
+            next.step_turn(&action, params.x);
+        }
+        explore(&next, params, depth - 1, valency);
+        if *valency == Valency::Bivalent {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_core::{commit_population, CommitConfig};
+    use rtc_model::{ProcessorId, SeedCollection, TimingParams, Value};
+
+    use super::*;
+
+    fn sim(votes: &[Value], seed: u64) -> LockstepSim<rtc_core::CommitAutomaton> {
+        let n = votes.len();
+        let cfg =
+            CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap();
+        LockstepSim::new(commit_population(cfg, votes), SeedCollection::new(seed)).without_history()
+    }
+
+    #[test]
+    fn all_ones_initial_configuration_is_bivalent() {
+        // Lemma 15's setting: I_11..1 can reach commit (prompt schedule)
+        // and abort (withholding the GO wave past the 2K window), so the
+        // explorer must certify bivalence.
+        let s = sim(&[Value::One; 3], 7);
+        let v = classify(
+            &s,
+            ExploreParams {
+                x: 1,
+                branch_depth: 12,
+                horizon_cycles: 2_000,
+            },
+        );
+        assert_eq!(v, Valency::Bivalent);
+    }
+
+    #[test]
+    fn an_initial_abort_vote_makes_the_configuration_zero_valent() {
+        // Abort validity: with a 0 input present, only 0 is reachable —
+        // no explored schedule may find a commit.
+        let s = sim(&[Value::One, Value::Zero, Value::One], 7);
+        let v = classify(
+            &s,
+            ExploreParams {
+                x: 1,
+                branch_depth: 8,
+                horizon_cycles: 2_000,
+            },
+        );
+        assert_eq!(v, Valency::Zero);
+    }
+
+    #[test]
+    fn a_decided_configuration_is_univalent() {
+        // Run to completion first; the decided configuration's valency
+        // is fixed by the agreement condition.
+        let mut s = sim(&[Value::One; 3], 5);
+        let (_, summary) = s.run_policy(&mut UniformDelayPolicy::new(1), 2_000);
+        assert!(summary.all_nonfaulty_decided);
+        let v = classify(
+            &s,
+            ExploreParams {
+                x: 1,
+                branch_depth: 4,
+                horizon_cycles: 500,
+            },
+        );
+        assert_eq!(v, Valency::One);
+    }
+
+    #[test]
+    fn deeper_exploration_never_loses_reachable_values() {
+        let s = sim(&[Value::One; 2], 3);
+        let shallow = classify(
+            &s,
+            ExploreParams {
+                x: 1,
+                branch_depth: 4,
+                horizon_cycles: 1_000,
+            },
+        );
+        let deep = classify(
+            &s,
+            ExploreParams {
+                x: 1,
+                branch_depth: 10,
+                horizon_cycles: 1_000,
+            },
+        );
+        // Bivalence found shallow must persist deep; One/Zero may be
+        // upgraded to Bivalent but never swapped.
+        match (shallow, deep) {
+            (Valency::Bivalent, d) => assert_eq!(d, Valency::Bivalent),
+            (Valency::Zero, d) => assert!(matches!(d, Valency::Zero | Valency::Bivalent)),
+            (Valency::One, d) => assert!(matches!(d, Valency::One | Valency::Bivalent)),
+            (Valency::Unknown, _) => {}
+        }
+        let _ = ProcessorId::new(0); // keep the import honest
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the algebra of schedule transformations.
+
+use proptest::prelude::*;
+use rtc_lockstep::{Schedule, TurnAction};
+use rtc_model::ProcessorId;
+
+fn arb_action() -> impl Strategy<Value = TurnAction> {
+    prop_oneof![
+        Just(TurnAction::DeliverDue),
+        Just(TurnAction::Silent),
+        Just(TurnAction::Fail),
+    ]
+}
+
+fn arb_schedule(n: usize) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(arb_action(), 0..4 * n).prop_map(move |turns| Schedule::new(n, turns))
+}
+
+fn arb_group(n: usize) -> impl Strategy<Value = Vec<ProcessorId>> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(|mask| {
+        mask.iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| ProcessorId::new(i))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// kill is idempotent: killing an already-killed group changes
+    /// nothing.
+    #[test]
+    fn kill_is_idempotent(s in arb_schedule(4), g in arb_group(4)) {
+        let once = s.kill(&g);
+        prop_assert_eq!(once.kill(&g), once);
+    }
+
+    /// deafen is idempotent.
+    #[test]
+    fn deafen_is_idempotent(s in arb_schedule(4), g in arb_group(4)) {
+        let once = s.deafen(&g);
+        prop_assert_eq!(once.deafen(&g), once);
+    }
+
+    /// kill dominates deafen on the same group: once killed, deafening
+    /// is a no-op.
+    #[test]
+    fn kill_absorbs_deafen(s in arb_schedule(4), g in arb_group(4)) {
+        let killed = s.kill(&g);
+        prop_assert_eq!(killed.deafen(&g), killed);
+    }
+
+    /// Transformations on disjoint groups commute.
+    #[test]
+    fn disjoint_transforms_commute(s in arb_schedule(4), mask in proptest::collection::vec(0u8..3, 4)) {
+        let a: Vec<ProcessorId> = mask.iter().enumerate()
+            .filter(|(_, m)| **m == 1).map(|(i, _)| ProcessorId::new(i)).collect();
+        let b: Vec<ProcessorId> = mask.iter().enumerate()
+            .filter(|(_, m)| **m == 2).map(|(i, _)| ProcessorId::new(i)).collect();
+        prop_assert_eq!(s.kill(&a).deafen(&b), s.deafen(&b).kill(&a));
+    }
+
+    /// Transformations never change who owns which turn, only the
+    /// action taken — lengths and the round-robin structure survive.
+    #[test]
+    fn transforms_preserve_structure(s in arb_schedule(4), g in arb_group(4)) {
+        let killed = s.kill(&g);
+        let deaf = s.deafen(&g);
+        prop_assert_eq!(killed.len(), s.len());
+        prop_assert_eq!(deaf.len(), s.len());
+        prop_assert_eq!(killed.cycles(), s.cycles());
+        for i in 0..s.len() {
+            prop_assert_eq!(killed.processor_of(i), s.processor_of(i));
+        }
+    }
+
+    /// Restriction after a transform on the *other* group equals plain
+    /// restriction — the paper's σ|S is blind to what happened off-S.
+    /// (Lemma 12's syntactic backbone.)
+    #[test]
+    fn restriction_ignores_off_group_transforms(s in arb_schedule(4), mask in proptest::collection::vec(0u8..3, 4)) {
+        let group_s: Vec<ProcessorId> = mask.iter().enumerate()
+            .filter(|(_, m)| **m == 1).map(|(i, _)| ProcessorId::new(i)).collect();
+        let others: Vec<ProcessorId> = mask.iter().enumerate()
+            .filter(|(_, m)| **m == 2).map(|(i, _)| ProcessorId::new(i)).collect();
+        prop_assert_eq!(s.kill(&others).restrict(&group_s), s.restrict(&group_s));
+        prop_assert_eq!(s.deafen(&others).restrict(&group_s), s.restrict(&group_s));
+    }
+
+    /// prefix ∘ then reconstructs the original.
+    #[test]
+    fn prefix_then_suffix_reconstructs(s in arb_schedule(3), cut in 0u64..5) {
+        let head = s.prefix_cycles(cut);
+        let tail = Schedule::new(3, s.turns()[head.len()..].to_vec());
+        prop_assert_eq!(head.then(&tail), s);
+    }
+}

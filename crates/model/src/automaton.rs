@@ -1,0 +1,139 @@
+//! The state-machine abstraction protocols implement.
+//!
+//! The paper models a processor as an infinite state machine whose
+//! transition function consumes the current state, the set of messages
+//! received at this step, and one random number, and produces the new
+//! state plus at most one message per destination (Section 2.1). The
+//! [`Automaton`] trait is that transition function; the simulator
+//! (`rtc-sim`) and the threaded runtime (`rtc-runtime`) are two
+//! interchangeable substrates that drive it.
+
+use std::fmt;
+
+use crate::{Decision, ProcessorId, StepRng, Value};
+
+/// A message delivered to an automaton at the current step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// The sender of the message.
+    pub from: ProcessorId,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Delivery<M> {
+    /// Creates a delivery record.
+    pub fn new(from: ProcessorId, msg: M) -> Delivery<M> {
+        Delivery { from, msg }
+    }
+}
+
+/// A message emitted by an automaton at the current step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Send<M> {
+    /// The destination processor.
+    pub to: ProcessorId,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Send<M> {
+    /// Creates a send record.
+    pub fn new(to: ProcessorId, msg: M) -> Send<M> {
+        Send { to, msg }
+    }
+}
+
+/// Where an automaton stands with respect to deciding.
+///
+/// The paper's decision states `Y_0`/`Y_1` are absorbing: once a
+/// processor decides it stays decided. Protocol 1 additionally *returns*
+/// (exits the subroutine and falls silent) the second time its decision
+/// condition fires; [`Status::Halted`] captures that terminal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// No decision yet.
+    Undecided,
+    /// Decided on a value; the automaton may still be participating to
+    /// help others decide.
+    Decided(Value),
+    /// Decided and permanently silent (returned from the protocol).
+    Halted(Value),
+}
+
+impl Status {
+    /// The decided value, if any.
+    pub fn value(self) -> Option<Value> {
+        match self {
+            Status::Undecided => None,
+            Status::Decided(v) | Status::Halted(v) => Some(v),
+        }
+    }
+
+    /// The commit-level decision, if any.
+    pub fn decision(self) -> Option<Decision> {
+        self.value().map(Decision::from)
+    }
+
+    /// Whether a decision has been reached (decided or halted).
+    pub fn is_decided(self) -> bool {
+        !matches!(self, Status::Undecided)
+    }
+}
+
+/// A protocol state machine in the paper's step model.
+///
+/// At each step the substrate delivers a (possibly empty) batch of
+/// messages together with this step's random number and collects the
+/// outgoing messages. Implementations must be deterministic functions of
+/// their state, the delivered batch, and the bits drawn from `rng` —
+/// all nondeterminism lives in the substrate (scheduling) and in `rng`
+/// (coin flips). The substrate maintains the local clock; an automaton
+/// that needs timeouts counts its own steps.
+///
+/// Implementations may send **at most one message per destination per
+/// step**, matching the paper's model; substrates are entitled to
+/// `debug_assert!` this.
+pub trait Automaton {
+    /// The message alphabet of the protocol.
+    type Msg: Clone + fmt::Debug;
+
+    /// This processor's identity.
+    fn id(&self) -> ProcessorId;
+
+    /// Executes one step: consume `delivered`, draw randomness from
+    /// `rng`, update state, and emit outgoing messages.
+    fn step(
+        &mut self,
+        delivered: &[Delivery<Self::Msg>],
+        rng: &mut StepRng,
+    ) -> Vec<Send<Self::Msg>>;
+
+    /// The decision status after the steps taken so far.
+    fn status(&self) -> Status;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_accessors() {
+        assert_eq!(Status::Undecided.value(), None);
+        assert_eq!(Status::Decided(Value::One).value(), Some(Value::One));
+        assert_eq!(
+            Status::Halted(Value::Zero).decision(),
+            Some(Decision::Abort)
+        );
+        assert!(Status::Decided(Value::Zero).is_decided());
+        assert!(!Status::Undecided.is_decided());
+    }
+
+    #[test]
+    fn send_and_delivery_are_plain_records() {
+        let s = Send::new(ProcessorId::new(1), "m");
+        assert_eq!(s.to, ProcessorId::new(1));
+        let d = Delivery::new(ProcessorId::new(2), "m");
+        assert_eq!(d.from, ProcessorId::new(2));
+    }
+}

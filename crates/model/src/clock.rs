@@ -1,0 +1,161 @@
+//! Local clocks and the timing parameters of the almost-asynchronous model.
+
+use std::fmt;
+
+use crate::ModelError;
+
+/// A processor's local clock: the number of steps it has taken so far.
+///
+/// The paper (Section 2.1) builds the clock into each processor's state;
+/// here it is a transparent counter maintained by whichever substrate is
+/// driving the automaton. All of the protocol's timeouts ("wait for `n`
+/// GO messages or `2K` clock ticks") are measured in these units.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalClock(u64);
+
+impl LocalClock {
+    /// A clock that has never ticked.
+    pub const ZERO: LocalClock = LocalClock(0);
+
+    /// Creates a clock reading of `ticks` steps.
+    pub fn new(ticks: u64) -> LocalClock {
+        LocalClock(ticks)
+    }
+
+    /// The number of steps taken so far.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The clock after one more step.
+    #[must_use]
+    pub fn tick(self) -> LocalClock {
+        LocalClock(self.0 + 1)
+    }
+
+    /// Ticks elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: LocalClock) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for LocalClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for LocalClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The timing constants of the model (paper, Section 2.2).
+///
+/// `K` is the number of clock ticks within which a message can be
+/// delivered after it is sent and not be considered *late*: message `m`
+/// from `p` to `q` is late in a run if any processor takes more than `K`
+/// steps between the event where `m` is sent and the event where it is
+/// received. A run with no late message is *on-time*. The paper requires
+/// `K ≥ 1`; with `K = 0` every message would be late and the model
+/// degenerates to the fully asynchronous one of FLP.
+///
+/// # Example
+///
+/// ```
+/// use rtc_model::TimingParams;
+///
+/// let timing = TimingParams::new(4).expect("K >= 1");
+/// assert_eq!(timing.k(), 4);
+/// assert_eq!(timing.vote_timeout(), 8); // the paper's 2K
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    k: u64,
+}
+
+impl TimingParams {
+    /// Creates timing parameters with late-message bound `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DegenerateTiming`] when `k == 0`.
+    pub fn new(k: u64) -> Result<TimingParams, ModelError> {
+        if k == 0 {
+            Err(ModelError::DegenerateTiming)
+        } else {
+            Ok(TimingParams { k })
+        }
+    }
+
+    /// The on-time delivery bound `K`, in clock ticks.
+    pub fn k(self) -> u64 {
+        self.k
+    }
+
+    /// The `2K` timeout used by both waits of Protocol 2.
+    pub fn vote_timeout(self) -> u64 {
+        2 * self.k
+    }
+
+    /// The `8K` bound of the paper's Remark 1: in a failure-free on-time
+    /// run every processor decides within this many of its own clock
+    /// ticks.
+    pub fn failure_free_decision_bound(self) -> u64 {
+        8 * self.k
+    }
+}
+
+impl Default for TimingParams {
+    /// `K = 4`, a small bound convenient for simulation.
+    fn default() -> TimingParams {
+        TimingParams { k: 4 }
+    }
+}
+
+impl fmt::Debug for TimingParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimingParams {{ K: {} }}", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let c = LocalClock::ZERO;
+        assert_eq!(c.ticks(), 0);
+        assert_eq!(c.tick().ticks(), 1);
+        assert_eq!(c.tick().tick().since(c.tick()), 1);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = LocalClock::new(2);
+        let late = LocalClock::new(5);
+        assert_eq!(early.since(late), 0);
+        assert_eq!(late.since(early), 3);
+    }
+
+    #[test]
+    fn k_zero_is_rejected() {
+        assert!(TimingParams::new(0).is_err());
+    }
+
+    #[test]
+    fn derived_bounds() {
+        let t = TimingParams::new(3).unwrap();
+        assert_eq!(t.vote_timeout(), 6);
+        assert_eq!(t.failure_free_decision_bound(), 24);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let t = TimingParams::default();
+        assert!(t.k() >= 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from invalid model parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// `K = 0` was requested; the model requires `K ≥ 1` (Section 2.2).
+    DegenerateTiming,
+    /// The requested number of processors exceeds the supported maximum.
+    PopulationTooLarge {
+        /// The offending population size or index.
+        requested: usize,
+    },
+    /// A protocol instance was configured with `n ≤ 2t`, which Theorem 14
+    /// proves cannot be `t`-nonblocking.
+    FaultBoundViolated {
+        /// Number of processors.
+        n: usize,
+        /// Fault bound requested.
+        t: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DegenerateTiming => f.write_str("timing bound K must be at least 1"),
+            ModelError::PopulationTooLarge { requested } => {
+                write!(
+                    f,
+                    "population size {requested} exceeds the supported maximum"
+                )
+            }
+            ModelError::FaultBoundViolated { n, t } => {
+                write!(
+                    f,
+                    "no t-nonblocking commit protocol exists for n <= 2t (n = {n}, t = {t})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_punctuation() {
+        let msgs = [
+            ModelError::DegenerateTiming.to_string(),
+            ModelError::PopulationTooLarge { requested: 1 << 20 }.to_string(),
+            ModelError::FaultBoundViolated { n: 4, t: 2 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

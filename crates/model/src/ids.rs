@@ -1,0 +1,133 @@
+//! Processor identities.
+
+use std::fmt;
+
+use crate::ModelError;
+
+/// Identifies one of the `n` processors participating in a protocol.
+///
+/// Identifiers are dense indices `0..n`. The paper designates the
+/// processor with id 0 as the *coordinator* of the commit protocol
+/// (Section 3.2); [`ProcessorId::COORDINATOR`] names it.
+///
+/// # Example
+///
+/// ```
+/// use rtc_model::ProcessorId;
+///
+/// let p = ProcessorId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert!(!p.is_coordinator());
+/// assert!(ProcessorId::COORDINATOR.is_coordinator());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessorId(u16);
+
+impl ProcessorId {
+    /// The distinguished processor responsible for beginning the commit
+    /// protocol (id 0).
+    pub const COORDINATOR: ProcessorId = ProcessorId(0);
+
+    /// Creates a processor id from a dense index.
+    pub fn new(index: usize) -> ProcessorId {
+        ProcessorId(u16::try_from(index).expect("processor index fits in u16"))
+    }
+
+    /// Creates a processor id, returning an error when `index` exceeds the
+    /// supported population size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PopulationTooLarge`] when `index` does not fit
+    /// in the internal representation.
+    pub fn try_new(index: usize) -> Result<ProcessorId, ModelError> {
+        u16::try_from(index)
+            .map(ProcessorId)
+            .map_err(|_| ModelError::PopulationTooLarge { requested: index })
+    }
+
+    /// The dense index of this processor in `0..n`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this processor is the coordinator (id 0).
+    pub fn is_coordinator(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all processor ids of a population of size `n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtc_model::ProcessorId;
+    /// let all: Vec<_> = ProcessorId::all(3).collect();
+    /// assert_eq!(all.len(), 3);
+    /// assert_eq!(all[0], ProcessorId::COORDINATOR);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessorId> + Clone {
+        (0..n).map(ProcessorId::new)
+    }
+}
+
+impl fmt::Debug for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessorId> for usize {
+    fn from(id: ProcessorId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_is_zero() {
+        assert_eq!(ProcessorId::COORDINATOR, ProcessorId::new(0));
+        assert!(ProcessorId::COORDINATOR.is_coordinator());
+        assert!(!ProcessorId::new(1).is_coordinator());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessorId::new(1) < ProcessorId::new(2));
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_population() {
+        assert!(ProcessorId::try_new(usize::from(u16::MAX) + 1).is_err());
+        assert!(ProcessorId::try_new(17).is_ok());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ProcessorId::new(7).to_string(), "p7");
+        assert_eq!(format!("{:?}", ProcessorId::new(7)), "p7");
+    }
+
+    #[test]
+    fn all_enumerates_population() {
+        let ids: Vec<_> = ProcessorId::all(4).collect();
+        assert_eq!(
+            ids,
+            vec![
+                ProcessorId::new(0),
+                ProcessorId::new(1),
+                ProcessorId::new(2),
+                ProcessorId::new(3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-step randomness: the collection `F` of the paper's Section 2.3.
+//!
+//! The paper supplies each processor with an infinite sequence of random
+//! numbers, one consumed per step, and defines `run(A, I, F)` as a
+//! *deterministic* function of the adversary `A`, the initial
+//! configuration `I`, and the seed collection `F`. Crucially, the
+//! adversary never observes `F`. We realize `F` as a master seed from
+//! which a small, independent bit stream is derived for every
+//! `(processor, step)` pair using SplitMix64; the derivation is pure, so
+//! replaying a run with the same `(A, I, F)` reproduces it bit-for-bit.
+
+use std::fmt;
+
+use crate::{LocalClock, ProcessorId};
+
+/// Advances a SplitMix64 state and returns the next output word.
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+fn splitmix64_output(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The random number handed to a processor at one step.
+///
+/// `flip(i)` (the paper's procedure for obtaining `i` random bits) draws
+/// from this stream. The stream is long enough for any realistic per-step
+/// consumption — the paper's technical restriction that a processor uses
+/// at most `f(s)` random bits at step `s` is trivially satisfied.
+///
+/// # Example
+///
+/// ```
+/// use rtc_model::{SeedCollection, ProcessorId, LocalClock};
+///
+/// let seeds = SeedCollection::new(42);
+/// let mut a = seeds.step_rng(ProcessorId::new(1), LocalClock::new(7));
+/// let mut b = seeds.step_rng(ProcessorId::new(1), LocalClock::new(7));
+/// assert_eq!(a.flip(16), b.flip(16)); // same (F, p, step) => same bits
+/// ```
+#[derive(Clone)]
+pub struct StepRng {
+    state: u64,
+}
+
+impl StepRng {
+    /// One uniformly random bit.
+    pub fn bit(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `i` uniformly random bits, as the paper's `flip(i)`.
+    pub fn flip(&mut self, i: usize) -> Vec<bool> {
+        (0..i).map(|_| self.bit()).collect()
+    }
+
+    /// A uniformly random real in `[0, 1)` — the literal object the
+    /// paper's random number generator emits.
+    pub fn real(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The next raw 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state);
+        splitmix64_output(self.state)
+    }
+}
+
+impl fmt::Debug for StepRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately hide the state: the adversary (and test logs) must
+        // not learn coin flips from debug output.
+        f.write_str("StepRng {{ .. }}")
+    }
+}
+
+/// The seed collection `F`: one infinite random sequence per processor.
+///
+/// A run of a protocol is a pure function of `(adversary, initial
+/// configuration, SeedCollection)`, mirroring the paper's
+/// `run(A, I, F)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedCollection {
+    master: u64,
+}
+
+impl SeedCollection {
+    /// Creates the collection derived from a master seed.
+    pub fn new(master: u64) -> SeedCollection {
+        SeedCollection { master }
+    }
+
+    /// The master seed this collection was built from.
+    pub fn master(self) -> u64 {
+        self.master
+    }
+
+    /// The random number for processor `p`'s step at local clock `clock`
+    /// (i.e. the `clock`-th element of `p`'s sequence in `F`).
+    pub fn step_rng(self, p: ProcessorId, clock: LocalClock) -> StepRng {
+        // Mix the coordinates through two rounds of the output function so
+        // that adjacent (p, clock) pairs land far apart in the stream.
+        let coord = (p.index() as u64) << 48 ^ clock.ticks().wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let state = splitmix64_output(self.master ^ coord).wrapping_add(coord);
+        StepRng {
+            state: splitmix64_output(state),
+        }
+    }
+}
+
+impl fmt::Debug for SeedCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SeedCollection {{ master: {} }}", self.master)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_coordinate() {
+        let f = SeedCollection::new(7);
+        let a: Vec<bool> = f.step_rng(ProcessorId::new(2), LocalClock::new(3)).flip(64);
+        let b: Vec<bool> = f.step_rng(ProcessorId::new(2), LocalClock::new(3)).flip(64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_processors_get_distinct_streams() {
+        let f = SeedCollection::new(7);
+        let a = f
+            .step_rng(ProcessorId::new(0), LocalClock::new(0))
+            .next_u64();
+        let b = f
+            .step_rng(ProcessorId::new(1), LocalClock::new(0))
+            .next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_steps_get_distinct_streams() {
+        let f = SeedCollection::new(7);
+        let a = f
+            .step_rng(ProcessorId::new(0), LocalClock::new(0))
+            .next_u64();
+        let b = f
+            .step_rng(ProcessorId::new(0), LocalClock::new(1))
+            .next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn real_is_in_unit_interval() {
+        let f = SeedCollection::new(99);
+        for step in 0..1000u64 {
+            let x = f
+                .step_rng(ProcessorId::new(1), LocalClock::new(step))
+                .real();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        let f = SeedCollection::new(3);
+        let mut ones = 0usize;
+        let total = 10_000;
+        for step in 0..total as u64 {
+            if f.step_rng(ProcessorId::new(4), LocalClock::new(step)).bit() {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "bias detected: {frac}");
+    }
+
+    #[test]
+    fn debug_hides_state() {
+        let f = SeedCollection::new(1);
+        let rng = f.step_rng(ProcessorId::new(0), LocalClock::ZERO);
+        assert!(!format!("{rng:?}").contains(|c: char| c.is_ascii_digit()));
+    }
+}

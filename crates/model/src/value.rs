@@ -1,0 +1,162 @@
+//! Protocol values and transaction decisions.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A binary protocol value: the currency of the agreement subroutine.
+///
+/// The paper identifies 0 with *abort* and 1 with *commit*; the
+/// [`Decision`] type carries that interpretation at the commit-protocol
+/// level while `Value` stays neutral inside the agreement machinery.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The value 0 (abort, at the commit level).
+    Zero,
+    /// The value 1 (commit, at the commit level).
+    One,
+}
+
+impl Value {
+    /// Converts a boolean (`true` → [`Value::One`]).
+    pub fn from_bool(bit: bool) -> Value {
+        if bit {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+
+    /// This value as a boolean (`One` → `true`).
+    pub fn as_bool(self) -> bool {
+        matches!(self, Value::One)
+    }
+
+    /// This value as the integer the paper writes (`0` or `1`).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Value::Zero => 0,
+            Value::One => 1,
+        }
+    }
+}
+
+impl Not for Value {
+    type Output = Value;
+
+    fn not(self) -> Value {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(bit: bool) -> Value {
+        Value::from_bool(bit)
+    }
+}
+
+/// The fate of a transaction: the commit-level reading of a [`Value`].
+///
+/// # Example
+///
+/// ```
+/// use rtc_model::{Decision, Value};
+///
+/// assert_eq!(Decision::from(Value::Zero), Decision::Abort);
+/// assert_eq!(Value::from(Decision::Commit), Value::One);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// The results of the transaction are installed at no processor.
+    Abort,
+    /// The results of the transaction are installed at all processors.
+    Commit,
+}
+
+impl From<Value> for Decision {
+    fn from(value: Value) -> Decision {
+        match value {
+            Value::Zero => Decision::Abort,
+            Value::One => Decision::Commit,
+        }
+    }
+}
+
+impl From<Decision> for Value {
+    fn from(decision: Decision) -> Value {
+        match decision {
+            Decision::Abort => Value::Zero,
+            Decision::Commit => Value::One,
+        }
+    }
+}
+
+impl fmt::Debug for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Decision::Abort => "Abort",
+            Decision::Commit => "Commit",
+        })
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Decision::Abort => "abort",
+            Decision::Commit => "commit",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_bool() {
+        for v in [Value::Zero, Value::One] {
+            assert_eq!(Value::from_bool(v.as_bool()), v);
+        }
+    }
+
+    #[test]
+    fn not_flips() {
+        assert_eq!(!Value::Zero, Value::One);
+        assert_eq!(!Value::One, Value::Zero);
+    }
+
+    #[test]
+    fn decision_round_trips_through_value() {
+        for d in [Decision::Abort, Decision::Commit] {
+            assert_eq!(Decision::from(Value::from(d)), d);
+        }
+    }
+
+    #[test]
+    fn zero_means_abort() {
+        assert_eq!(Decision::from(Value::Zero), Decision::Abort);
+        assert_eq!(Decision::from(Value::One), Decision::Commit);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::One.to_string(), "1");
+        assert_eq!(Decision::Commit.to_string(), "commit");
+        assert_eq!(format!("{:?}", Decision::Abort), "Abort");
+    }
+}

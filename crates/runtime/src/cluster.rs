@@ -1,0 +1,467 @@
+//! The threaded cluster: one OS thread per processor, crossbeam
+//! channels as links.
+//!
+//! Each node thread runs a pacing loop: during one *tick* it collects
+//! whatever messages have arrived, then executes one automaton step.
+//! Local clocks therefore advance in real time, so the protocol's
+//! `2K`-tick timeouts become `2K × tick` of wall clock, and a delay
+//! spike longer than `K` ticks makes a message *late* in exactly the
+//! paper's sense. A dedicated delayer thread holds delayed messages
+//! until they are due.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, RecvTimeoutError};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rtc_model::{Automaton, Delivery, LocalClock, ProcessorId, SeedCollection, Status};
+
+use crate::fault::FaultPlan;
+
+/// Pacing and bounds for a cluster run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterOptions {
+    /// Real-time duration of one automaton step.
+    pub tick: Duration,
+    /// Hard cap on steps per node.
+    pub max_steps: u64,
+    /// Hard cap on wall-clock time for the whole run.
+    pub wall_timeout: Duration,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> ClusterOptions {
+        ClusterOptions {
+            tick: Duration::from_micros(500),
+            max_steps: 200_000,
+            wall_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The outcome of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Final status per processor.
+    pub statuses: Vec<Status>,
+    /// Steps each node executed.
+    pub steps: Vec<u64>,
+    /// Which processors were crashed by the fault plan.
+    pub crashed: Vec<bool>,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Whether the run ended by decision (vs timeout).
+    pub decided_in_time: bool,
+    /// Per-message delivery delays, in receiver ticks minus sender
+    /// ticks. Node clocks advance at the same wall rate (one step per
+    /// tick), so this approximates the paper's lateness measure: a
+    /// message is *late-ish* when its delta exceeds `K`.
+    pub link_delays: Vec<i64>,
+}
+
+impl ClusterReport {
+    /// Whether every non-crashed processor decided.
+    pub fn all_nonfaulty_decided(&self) -> bool {
+        self.statuses
+            .iter()
+            .zip(&self.crashed)
+            .all(|(s, crashed)| *crashed || s.is_decided())
+    }
+
+    /// How many messages arrived more than `k` ticks after they were
+    /// sent — the runtime analogue of the paper's late messages.
+    pub fn late_messages(&self, k: u64) -> usize {
+        self.link_delays.iter().filter(|d| **d > k as i64).count()
+    }
+
+    /// Whether at most one distinct value was decided.
+    pub fn agreement_holds(&self) -> bool {
+        let mut vals: Vec<_> = self.statuses.iter().filter_map(|s| s.value()).collect();
+        vals.sort();
+        vals.dedup();
+        vals.len() <= 1
+    }
+}
+
+struct Envelope<M> {
+    from: ProcessorId,
+    sent_at_tick: u64,
+    msg: M,
+}
+
+struct Delayed<M> {
+    due: Instant,
+    seq: u64,
+    to: usize,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest due.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs a population of automata on threads until every non-crashed
+/// node decides, or the caps are hit.
+///
+/// The automata must be `Send`; their message type must be
+/// `Send + 'static`.
+///
+/// # Example
+///
+/// ```
+/// use rtc_core::{commit_population, CommitConfig};
+/// use rtc_model::{Decision, SeedCollection, TimingParams, Value};
+/// use rtc_runtime::{run_cluster, ClusterOptions, FaultPlan};
+///
+/// let cfg = CommitConfig::new(3, 1, TimingParams::default())?;
+/// let report = run_cluster(
+///     commit_population(cfg, &[Value::One; 3]),
+///     SeedCollection::new(7),
+///     FaultPlan::none(),
+///     ClusterOptions::default(),
+/// );
+/// assert!(report.all_nonfaulty_decided());
+/// assert!(report.statuses.iter().all(|s| s.decision() == Some(Decision::Commit)));
+/// # Ok::<(), rtc_model::ModelError>(())
+/// ```
+pub fn run_cluster<A>(
+    procs: Vec<A>,
+    seeds: SeedCollection,
+    faults: FaultPlan,
+    opts: ClusterOptions,
+) -> ClusterReport
+where
+    A: Automaton + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    let n = procs.len();
+    assert!(n > 0, "cluster needs at least one processor");
+    let start = Instant::now();
+
+    // Links: one inbox per node, plus the delayer's inbox.
+    let mut inbox_tx = Vec::with_capacity(n);
+    let mut inbox_rx = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Envelope<A::Msg>>();
+        inbox_tx.push(tx);
+        inbox_rx.push(rx);
+    }
+    let (delay_tx, delay_rx) = unbounded::<Delayed<A::Msg>>();
+
+    let statuses: Arc<Mutex<Vec<Status>>> = Arc::new(Mutex::new(vec![Status::Undecided; n]));
+    let steps: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; n]));
+    let done = Arc::new(AtomicBool::new(false));
+    let messages = Arc::new(AtomicU64::new(0));
+    let link_delays: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let crashed: Vec<bool> = (0..n)
+        .map(|i| faults.crash_step(ProcessorId::new(i)).is_some())
+        .collect();
+
+    // The delayer thread.
+    let delayer = {
+        let done = Arc::clone(&done);
+        let inbox_tx = inbox_tx.clone();
+        thread::spawn(move || {
+            let mut heap: BinaryHeap<Delayed<A::Msg>> = BinaryHeap::new();
+            loop {
+                let timeout = heap
+                    .peek()
+                    .map(|d| d.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(5));
+                match delay_rx.recv_timeout(timeout) {
+                    Ok(d) => heap.push(d),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                let now = Instant::now();
+                while heap.peek().is_some_and(|d| d.due <= now) {
+                    let d = heap.pop().expect("peeked");
+                    // A send can fail only during teardown.
+                    let _ = inbox_tx[d.to].send(d.env);
+                }
+                if done.load(Ordering::Relaxed) && heap.is_empty() {
+                    break;
+                }
+            }
+        })
+    };
+
+    // Node threads.
+    let mut handles = Vec::with_capacity(n);
+    for (i, mut auto) in procs.into_iter().enumerate() {
+        let rx = inbox_rx.remove(0);
+        let inbox_tx = inbox_tx.clone();
+        let delay_tx = delay_tx.clone();
+        let statuses = Arc::clone(&statuses);
+        let steps = Arc::clone(&steps);
+        let done = Arc::clone(&done);
+        let messages = Arc::clone(&messages);
+        let link_delays = Arc::clone(&link_delays);
+        let crash_at = faults.crash_step(ProcessorId::new(i));
+        let delay_model = faults.delay;
+        let plan = faults.clone();
+        let started = start;
+        let tick = opts.tick;
+        let max_steps = opts.max_steps;
+        handles.push(thread::spawn(move || {
+            let id = ProcessorId::new(i);
+            let mut net_rng = SmallRng::seed_from_u64(seeds.master() ^ (0xC0FFEE + i as u64));
+            let mut seq = 0u64;
+            let mut clock = 0u64;
+            while !done.load(Ordering::Relaxed) && clock < max_steps {
+                if crash_at == Some(clock) {
+                    return; // fail-stop: vanish without a trace
+                }
+                // Collect one tick's worth of arrivals.
+                let deadline = Instant::now() + tick;
+                let mut delivered: Vec<Delivery<A::Msg>> = Vec::new();
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(env) => {
+                            link_delays
+                                .lock()
+                                .push(clock as i64 - env.sent_at_tick as i64);
+                            delivered.push(Delivery::new(env.from, env.msg));
+                        }
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                let mut rng = seeds.step_rng(id, LocalClock::new(clock));
+                let outs = auto.step(&delivered, &mut rng);
+                clock += 1;
+                steps.lock()[i] = clock;
+                statuses.lock()[i] = auto.status();
+                for out in outs {
+                    messages.fetch_add(1, Ordering::Relaxed);
+                    let env = Envelope {
+                        from: id,
+                        sent_at_tick: clock,
+                        msg: out.msg,
+                    };
+                    let mut hold = delay_model.sample(&mut net_rng);
+                    // A link outage buffers the message until the window
+                    // closes (eventual delivery is preserved).
+                    let at = started.elapsed();
+                    if let Some(until) = plan.outage_until(id, out.to, at) {
+                        hold = hold.max(until.saturating_sub(at));
+                    }
+                    if hold.is_zero() {
+                        let _ = inbox_tx[out.to.index()].send(env);
+                    } else {
+                        seq += 1;
+                        let _ = delay_tx.send(Delayed {
+                            due: Instant::now() + hold,
+                            seq,
+                            to: out.to.index(),
+                            env,
+                        });
+                    }
+                }
+            }
+        }));
+    }
+    drop(delay_tx);
+
+    // Monitor: wait until all non-crashed nodes decide or timeout.
+    let mut decided_in_time = false;
+    while start.elapsed() < opts.wall_timeout {
+        {
+            let st = statuses.lock();
+            if st.iter().zip(&crashed).all(|(s, c)| *c || s.is_decided()) {
+                decided_in_time = true;
+            }
+        }
+        if decided_in_time {
+            break;
+        }
+        thread::sleep(opts.tick);
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = delayer.join();
+
+    let final_statuses = statuses.lock().clone();
+    let final_steps = steps.lock().clone();
+    let final_delays = link_delays.lock().clone();
+    ClusterReport {
+        statuses: final_statuses,
+        steps: final_steps,
+        crashed,
+        messages_sent: messages.load(Ordering::Relaxed),
+        wall: start.elapsed(),
+        decided_in_time,
+        link_delays: final_delays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_core::{commit_population, CommitConfig};
+    use rtc_model::{Decision, TimingParams, Value};
+
+    use super::*;
+    use crate::fault::DelayModel;
+
+    fn cfg(n: usize) -> CommitConfig {
+        CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+    }
+
+    fn opts() -> ClusterOptions {
+        ClusterOptions {
+            tick: Duration::from_micros(300),
+            max_steps: 100_000,
+            wall_timeout: Duration::from_secs(20),
+        }
+    }
+
+    #[test]
+    fn unanimous_commit_decides_commit() {
+        let c = cfg(5);
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 5]),
+            SeedCollection::new(11),
+            FaultPlan::none(),
+            opts(),
+        );
+        assert!(report.decided_in_time, "run timed out: {report:?}");
+        assert!(report
+            .statuses
+            .iter()
+            .all(|s| s.decision() == Some(Decision::Commit)));
+    }
+
+    #[test]
+    fn initial_abort_decides_abort() {
+        let c = cfg(5);
+        let mut votes = vec![Value::One; 5];
+        votes[3] = Value::Zero;
+        let report = run_cluster(
+            commit_population(c, &votes),
+            SeedCollection::new(12),
+            FaultPlan::none(),
+            opts(),
+        );
+        assert!(report.decided_in_time);
+        assert!(report
+            .statuses
+            .iter()
+            .all(|s| s.decision() == Some(Decision::Abort)));
+    }
+
+    #[test]
+    fn tolerated_crashes_still_decide() {
+        let c = cfg(5); // t = 2
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 5]),
+            SeedCollection::new(13),
+            FaultPlan::none()
+                .with_crash(ProcessorId::new(3), 6)
+                .with_crash(ProcessorId::new(4), 2),
+            opts(),
+        );
+        assert!(report.decided_in_time, "run timed out: {report:?}");
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn link_delays_reflect_injected_spikes() {
+        // With no injected delay, link deltas hover near zero; with
+        // spikes of several ticks, late messages appear.
+        let c = cfg(3);
+        let calm = run_cluster(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(51),
+            FaultPlan::none(),
+            opts(),
+        );
+        assert!(!calm.link_delays.is_empty());
+        let k = c.timing().k();
+        let calm_late = calm.late_messages(k);
+
+        let spiky = run_cluster(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(52),
+            FaultPlan::none().with_delay(DelayModel::Spike {
+                permille: 400,
+                spike: Duration::from_millis(5), // >> K ticks of 300us
+            }),
+            opts(),
+        );
+        assert!(spiky.agreement_holds());
+        assert!(
+            spiky.late_messages(k) > calm_late,
+            "spikes should produce more late messages ({} vs {calm_late})",
+            spiky.late_messages(k)
+        );
+    }
+
+    #[test]
+    fn link_outage_is_survived_consistently() {
+        // The link between the coordinator and p2 is down for the first
+        // 4ms; its traffic arrives when the window closes. The cluster
+        // must still decide consistently (commit if the buffered GO
+        // still beats the 2K window in real time, abort otherwise).
+        let c = cfg(3);
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(21),
+            FaultPlan::none().with_link_outage(
+                ProcessorId::COORDINATOR,
+                ProcessorId::new(2),
+                Duration::ZERO,
+                Duration::from_millis(4),
+            ),
+            opts(),
+        );
+        assert!(
+            report.decided_in_time,
+            "outage must not block the cluster: {report:?}"
+        );
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn delay_spikes_preserve_safety_and_liveness() {
+        let c = cfg(3);
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(14),
+            FaultPlan::none().with_delay(DelayModel::Spike {
+                permille: 200,
+                spike: Duration::from_millis(3),
+            }),
+            opts(),
+        );
+        assert!(report.decided_in_time, "run timed out: {report:?}");
+        assert!(report.agreement_holds());
+    }
+}

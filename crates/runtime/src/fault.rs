@@ -1,0 +1,209 @@
+//! Fault injection for the threaded runtime.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rtc_model::ProcessorId;
+
+/// Per-message network delay model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Deliver immediately (same-tick when the receiver is polling).
+    None,
+    /// Uniform random delay in `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: Duration,
+        /// Upper bound.
+        max: Duration,
+    },
+    /// Mostly immediate, but with probability `permille/1000` a message
+    /// is held for `spike` — the "usually on time, sometimes late"
+    /// behaviour the paper's model is built around.
+    Spike {
+        /// Probability of a spike, in thousandths.
+        permille: u32,
+        /// The spike duration.
+        spike: Duration,
+    },
+}
+
+impl DelayModel {
+    /// Samples the delay of one message.
+    pub fn sample(self, rng: &mut SmallRng) -> Duration {
+        match self {
+            DelayModel::None => Duration::ZERO,
+            DelayModel::Uniform { min, max } => {
+                if max <= min {
+                    min
+                } else {
+                    let span = (max - min).as_nanos() as u64;
+                    min + Duration::from_nanos(rng.gen_range(0..=span))
+                }
+            }
+            DelayModel::Spike { permille, spike } => {
+                if rng.gen_range(0..1000) < permille {
+                    spike
+                } else {
+                    Duration::ZERO
+                }
+            }
+        }
+    }
+}
+
+/// A scripted crash: the processor's thread exits at the given local
+/// step, without sending the messages of that step (the mid-broadcast
+/// failure of the paper's model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashAt {
+    /// The victim.
+    pub victim: ProcessorId,
+    /// The local step at which it dies.
+    pub at_step: u64,
+}
+
+/// A temporary outage of the link between two processors: messages
+/// crossing it during the window are buffered and delivered when the
+/// window closes (like a real transport retransmitting across a
+/// partition), preserving the model's eventual-delivery guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// One endpoint.
+    pub a: ProcessorId,
+    /// The other endpoint.
+    pub b: ProcessorId,
+    /// Window start, relative to cluster start.
+    pub from: Duration,
+    /// Window end, relative to cluster start.
+    pub until: Duration,
+}
+
+impl LinkOutage {
+    /// Whether the outage covers traffic between `x` and `y` at offset
+    /// `at` from cluster start.
+    pub fn covers(&self, x: ProcessorId, y: ProcessorId, at: Duration) -> bool {
+        let pair = (self.a == x && self.b == y) || (self.a == y && self.b == x);
+        pair && at >= self.from && at < self.until
+    }
+}
+
+/// The full fault plan for one cluster run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Scripted crashes.
+    pub crashes: Vec<CrashAt>,
+    /// The network delay model.
+    pub delay: DelayModel,
+    /// Scripted link outages.
+    pub outages: Vec<LinkOutage>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            crashes: Vec::new(),
+            delay: DelayModel::None,
+            outages: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A fault-free plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a scripted crash.
+    #[must_use]
+    pub fn with_crash(mut self, victim: ProcessorId, at_step: u64) -> FaultPlan {
+        self.crashes.push(CrashAt { victim, at_step });
+        self
+    }
+
+    /// Sets the delay model.
+    #[must_use]
+    pub fn with_delay(mut self, delay: DelayModel) -> FaultPlan {
+        self.delay = delay;
+        self
+    }
+
+    /// Adds a link outage between `a` and `b` over `[from, until)`.
+    #[must_use]
+    pub fn with_link_outage(
+        mut self,
+        a: ProcessorId,
+        b: ProcessorId,
+        from: Duration,
+        until: Duration,
+    ) -> FaultPlan {
+        self.outages.push(LinkOutage { a, b, from, until });
+        self
+    }
+
+    /// The crash step for `p`, if scripted.
+    pub fn crash_step(&self, p: ProcessorId) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|c| c.victim == p)
+            .map(|c| c.at_step)
+    }
+
+    /// If traffic between `x` and `y` at offset `at` is cut, returns
+    /// when the covering outage window ends (the hold-until offset).
+    pub fn outage_until(&self, x: ProcessorId, y: ProcessorId, at: Duration) -> Option<Duration> {
+        self.outages
+            .iter()
+            .filter(|o| o.covers(x, y, at))
+            .map(|o| o.until)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(DelayModel::None.sample(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let model = DelayModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(3),
+        };
+        for _ in 0..100 {
+            let d = model.sample(&mut rng);
+            assert!(d >= Duration::from_millis(1) && d <= Duration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn spike_rate_is_roughly_honoured() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = DelayModel::Spike {
+            permille: 100,
+            spike: Duration::from_millis(50),
+        };
+        let spikes = (0..10_000)
+            .filter(|_| model.sample(&mut rng) > Duration::ZERO)
+            .count();
+        assert!((500..1500).contains(&spikes), "{spikes}");
+    }
+
+    #[test]
+    fn plan_lookup() {
+        let plan = FaultPlan::none().with_crash(ProcessorId::new(2), 7);
+        assert_eq!(plan.crash_step(ProcessorId::new(2)), Some(7));
+        assert_eq!(plan.crash_step(ProcessorId::new(1)), None);
+    }
+}

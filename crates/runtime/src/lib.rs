@@ -1,0 +1,19 @@
+//! A threaded real-time runtime for the protocol automata.
+//!
+//! The discrete-event simulator (`rtc-sim`) gives adversarial control;
+//! this crate gives *realism*: every processor runs on its own OS
+//! thread, links are crossbeam channels, local clocks advance with wall
+//! time, and a fault plan injects crashes and delay spikes. The same
+//! [`rtc_model::Automaton`] implementations run unmodified on both
+//! substrates — the paper's "laptop" deployment of its model.
+//!
+//! See [`run_cluster`] for the entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod fault;
+
+pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
+pub use fault::{CrashAt, DelayModel, FaultPlan};

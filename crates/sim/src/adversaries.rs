@@ -1,0 +1,785 @@
+//! A zoo of reusable adversary strategies.
+//!
+//! Each strategy is a scheduling policy over the pattern view: which
+//! processor steps next and which buffered messages it receives. None of
+//! them inspects message contents — content-aware diagnostic schedulers
+//! live next to the protocols that need them (e.g. the Ben-Or split-vote
+//! scheduler in `rtc-baselines`).
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtc_model::ProcessorId;
+
+use crate::adversary::{Action, Adversary, MsgHandle, PatternView};
+use crate::envelope::MsgId;
+
+/// Picks the next alive processor in round-robin order starting from
+/// `cursor`, advancing the cursor.
+fn next_alive(view: &PatternView<'_>, cursor: &mut usize) -> Option<ProcessorId> {
+    let n = view.population();
+    for _ in 0..n {
+        let p = ProcessorId::new(*cursor % n);
+        *cursor = (*cursor + 1) % n;
+        if !view.is_crashed(p) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// The benign scheduler: processors step in round-robin order and every
+/// pending message that has waited at least `lag` global events is
+/// delivered at its destination's next step.
+///
+/// With `lag = 0` this realizes the paper's well-behaved case: all
+/// message delays are one "cycle", so every run is failure-free and
+/// on-time for any `K ≥ 1`.
+#[derive(Debug)]
+pub struct SynchronousAdversary {
+    cursor: usize,
+    lag: u64,
+}
+
+impl SynchronousAdversary {
+    /// A synchronous scheduler over `n` processors delivering messages
+    /// at the first opportunity.
+    pub fn new(_n: usize) -> SynchronousAdversary {
+        SynchronousAdversary { cursor: 0, lag: 0 }
+    }
+
+    /// A synchronous scheduler that holds every message for at least
+    /// `lag` global events before delivery.
+    pub fn with_lag(_n: usize, lag: u64) -> SynchronousAdversary {
+        SynchronousAdversary { cursor: 0, lag }
+    }
+}
+
+impl Adversary for SynchronousAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
+        let deliver = view
+            .pending(p)
+            .into_iter()
+            .filter(|m| view.event().saturating_sub(m.send_event) >= self.lag)
+            .map(|m| m.id)
+            .collect();
+        Action::Step { p, deliver }
+    }
+}
+
+/// A randomized scheduler: steps a uniformly random alive processor,
+/// delivers each of its pending messages with probability
+/// `deliver_prob`, and (while the fault budget lasts) crashes a random
+/// processor with probability `crash_prob` per event, dropping a random
+/// subset of its final sends.
+///
+/// This is the workhorse for statistical soundness tests: it explores a
+/// broad cross-section of admissible schedules.
+#[derive(Debug)]
+pub struct RandomAdversary {
+    rng: SmallRng,
+    deliver_prob: f64,
+    crash_prob: f64,
+    /// Which processors have received at least one message so far —
+    /// used to honour the paper's t-admissibility clause that some
+    /// nonfaulty processor receives a message (crashes must not create
+    /// the degenerate nobody-ever-hears-anything run).
+    received: Vec<bool>,
+}
+
+impl RandomAdversary {
+    /// A random scheduler with delivery probability 0.5 and no crashes.
+    pub fn new(seed: u64) -> RandomAdversary {
+        RandomAdversary {
+            rng: SmallRng::seed_from_u64(seed),
+            deliver_prob: 0.5,
+            crash_prob: 0.0,
+            received: Vec::new(),
+        }
+    }
+
+    /// Sets the per-message delivery probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn deliver_prob(mut self, p: f64) -> RandomAdversary {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.deliver_prob = p;
+        self
+    }
+
+    /// Sets the per-event crash probability (crashes stop once the fault
+    /// budget is spent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn crash_prob(mut self, p: f64) -> RandomAdversary {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.crash_prob = p;
+        self
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        if self.received.len() < view.population() {
+            self.received.resize(view.population(), false);
+        }
+        let alive: Vec<ProcessorId> = view.alive().collect();
+        debug_assert!(!alive.is_empty());
+        if view.crashes_remaining() > 0 && alive.len() > 1 && self.rng.gen_bool(self.crash_prob) {
+            let victim = alive[self.rng.gen_range(0..alive.len())];
+            // Admissibility guard: after the crash, some alive processor
+            // must still have received a message, or at least hold a
+            // pending message from a processor other than the victim —
+            // otherwise the run could degenerate into the excluded
+            // nobody-ever-hears-anything schedule.
+            let still_live = alive.iter().any(|p| {
+                *p != victim
+                    && (self.received[p.index()]
+                        || view.pending(*p).iter().any(|m| m.from != victim))
+            });
+            if still_live {
+                let drop: Vec<MsgId> = view
+                    .last_sends_of(victim)
+                    .into_iter()
+                    .filter(|_| self.rng.gen_bool(0.5))
+                    .map(|m| m.id)
+                    .collect();
+                return Action::Crash { p: victim, drop };
+            }
+        }
+        let p = alive[self.rng.gen_range(0..alive.len())];
+        let deliver: Vec<MsgId> = view
+            .pending(p)
+            .into_iter()
+            .filter(|_| self.rng.gen_bool(self.deliver_prob))
+            .map(|m| m.id)
+            .collect();
+        if !deliver.is_empty() {
+            self.received[p.index()] = true;
+        }
+        Action::Step { p, deliver }
+    }
+}
+
+/// What to do with the unguaranteed final-step messages of a scripted
+/// crash victim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Deliver them all anyway.
+    KeepAll,
+    /// Drop them all (the classic "failed mid-broadcast" scenario).
+    DropAll,
+    /// Drop only those addressed to the listed processors.
+    DropTo(Vec<ProcessorId>),
+}
+
+/// One scripted crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Crash once the global event counter reaches this value.
+    pub at_event: u64,
+    /// The victim.
+    pub victim: ProcessorId,
+    /// What happens to the victim's final-step sends.
+    pub drop: DropPolicy,
+}
+
+/// Runs an inner adversary but injects crashes according to a script.
+///
+/// Used to reproduce targeted failure scenarios: the coordinator dying
+/// mid-`GO`-broadcast, a majority dying just before the vote, etc.
+pub struct CrashAdversary<A> {
+    inner: A,
+    plans: Vec<CrashPlan>,
+}
+
+impl<A: Adversary> CrashAdversary<A> {
+    /// Wraps `inner`, executing `plans` (in order) when their trigger
+    /// events arrive.
+    pub fn new(inner: A, plans: Vec<CrashPlan>) -> CrashAdversary<A> {
+        CrashAdversary { inner, plans }
+    }
+}
+
+impl<A: Adversary> Adversary for CrashAdversary<A> {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        if let Some(pos) = self
+            .plans
+            .iter()
+            .position(|plan| view.event() >= plan.at_event && !view.is_crashed(plan.victim))
+        {
+            let plan = self.plans.remove(pos);
+            let drop = match plan.drop {
+                DropPolicy::KeepAll => Vec::new(),
+                DropPolicy::DropAll => view
+                    .last_sends_of(plan.victim)
+                    .into_iter()
+                    .map(|m| m.id)
+                    .collect(),
+                DropPolicy::DropTo(targets) => view
+                    .last_sends_of(plan.victim)
+                    .into_iter()
+                    .filter(|m| targets.contains(&m.to))
+                    .map(|m| m.id)
+                    .collect(),
+            };
+            return Action::Crash {
+                p: plan.victim,
+                drop,
+            };
+        }
+        self.inner.next(view)
+    }
+
+    fn admissible(&self) -> bool {
+        self.inner.admissible()
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for CrashAdversary<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CrashAdversary")
+            .field("inner", &self.inner)
+            .field("pending_plans", &self.plans.len())
+            .finish()
+    }
+}
+
+/// The Theorem-17 scheduler: round-robin steps, but every message is
+/// held for `x` full rotations of the population before delivery.
+///
+/// Since one rotation gives each processor one step, holding a message
+/// for `x` rotations means every processor takes about `x` steps between
+/// send and receive — the run is `x`-slow in the paper's Section 5
+/// sense. The expected number of clock ticks to decision grows linearly
+/// in `x`, demonstrating that no protocol bound in clock ticks can
+/// exist.
+#[derive(Debug)]
+pub struct DelayAdversary {
+    cursor: usize,
+    hold_events: u64,
+}
+
+impl DelayAdversary {
+    /// A scheduler over `n` processors holding messages for `x`
+    /// rotations.
+    pub fn new(n: usize, x: u64) -> DelayAdversary {
+        DelayAdversary {
+            cursor: 0,
+            hold_events: x * n as u64,
+        }
+    }
+}
+
+impl Adversary for DelayAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
+        let deliver = view
+            .pending(p)
+            .into_iter()
+            .filter(|m| view.event().saturating_sub(m.send_event) >= self.hold_events)
+            .map(|m| m.id)
+            .collect();
+        Action::Step { p, deliver }
+    }
+}
+
+/// A permanent network partition: messages crossing the cut are never
+/// delivered.
+///
+/// This adversary is **not admissible** (guaranteed intergroup messages
+/// are withheld forever). It exists to demonstrate the mechanism of the
+/// paper's Theorem 14: with `n = 2t`, two groups of size `t` that cannot
+/// hear each other can never safely decide, so a correct protocol must
+/// stall — and ours does, without ever producing conflicting decisions.
+#[derive(Debug)]
+pub struct PartitionAdversary {
+    cursor: usize,
+    in_group_a: Vec<bool>,
+}
+
+impl PartitionAdversary {
+    /// Partitions `n` processors into `group_a` and its complement.
+    pub fn new(n: usize, group_a: &[ProcessorId]) -> PartitionAdversary {
+        let mut in_group_a = vec![false; n];
+        for p in group_a {
+            in_group_a[p.index()] = true;
+        }
+        PartitionAdversary {
+            cursor: 0,
+            in_group_a,
+        }
+    }
+
+    fn same_side(&self, a: ProcessorId, b: ProcessorId) -> bool {
+        self.in_group_a[a.index()] == self.in_group_a[b.index()]
+    }
+}
+
+impl Adversary for PartitionAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
+        let deliver = view
+            .pending(p)
+            .into_iter()
+            .filter(|m| self.same_side(m.from, p))
+            .map(|m| m.id)
+            .collect();
+        Action::Step { p, deliver }
+    }
+
+    fn admissible(&self) -> bool {
+        false
+    }
+}
+
+/// A network partition that heals: messages crossing the cut are
+/// withheld until the global event counter reaches `heal_at`, then the
+/// backlog (and everything after it) flows normally.
+///
+/// Unlike [`PartitionAdversary`] this is **admissible** — every
+/// guaranteed message is eventually delivered — so a `t`-nonblocking
+/// protocol must decide in spite of it. It is the recovery scenario the
+/// paper alludes to ("by not producing a wrong answer, we leave open
+/// the opportunity to recover"): the minority side makes no progress
+/// while cut off, then catches up through the piggybacked `GO`s and the
+/// buffered Protocol 1 traffic.
+#[derive(Debug)]
+pub struct HealingPartitionAdversary {
+    cursor: usize,
+    in_group_a: Vec<bool>,
+    heal_at: u64,
+}
+
+impl HealingPartitionAdversary {
+    /// Partitions `group_a` from the rest until global event `heal_at`.
+    pub fn new(n: usize, group_a: &[ProcessorId], heal_at: u64) -> HealingPartitionAdversary {
+        let mut in_group_a = vec![false; n];
+        for p in group_a {
+            in_group_a[p.index()] = true;
+        }
+        HealingPartitionAdversary {
+            cursor: 0,
+            in_group_a,
+            heal_at,
+        }
+    }
+}
+
+impl Adversary for HealingPartitionAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
+        let healed = view.event() >= self.heal_at;
+        let deliver = view
+            .pending(p)
+            .into_iter()
+            .filter(|m| healed || self.in_group_a[m.from.index()] == self.in_group_a[p.index()])
+            .map(|m| m.id)
+            .collect();
+        Action::Step { p, deliver }
+    }
+}
+
+/// Delays messages matching a predicate by a fixed number of global
+/// events while scheduling everything else synchronously.
+///
+/// The predicate sees only pattern-visible metadata ([`MsgHandle`]), so
+/// this adversary stays within the Section-2.3 model. It is the tool for
+/// "one late message" scenarios: e.g. delay everything from the
+/// coordinator past `K` and watch a synchronous-model protocol
+/// misbehave.
+pub struct SelectiveDelayAdversary {
+    cursor: usize,
+    hold_events: u64,
+    matches: Box<dyn Fn(&MsgHandle) -> bool + Send>,
+}
+
+impl SelectiveDelayAdversary {
+    /// Holds messages matching `matches` for `hold_events` global
+    /// events; everything else is delivered immediately.
+    pub fn new(
+        _n: usize,
+        hold_events: u64,
+        matches: impl Fn(&MsgHandle) -> bool + Send + 'static,
+    ) -> SelectiveDelayAdversary {
+        SelectiveDelayAdversary {
+            cursor: 0,
+            hold_events,
+            matches: Box::new(matches),
+        }
+    }
+}
+
+impl Adversary for SelectiveDelayAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
+        let deliver = view
+            .pending(p)
+            .into_iter()
+            .filter(|m| {
+                !(self.matches)(m) || view.event().saturating_sub(m.send_event) >= self.hold_events
+            })
+            .map(|m| m.id)
+            .collect();
+        Action::Step { p, deliver }
+    }
+}
+
+impl fmt::Debug for SelectiveDelayAdversary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SelectiveDelayAdversary")
+            .field("hold_events", &self.hold_events)
+            .finish()
+    }
+}
+
+/// An *adaptive* pattern-only adversary: it uses everything Section 2.3
+/// lets it see — clocks, the send/receive pattern, crash budget — to
+/// make life hard without ever reading a payload.
+///
+/// Heuristics (all pattern-derived):
+///
+/// * **Starve the leaders**: preferentially schedule the processor with
+///   the *lowest* clock, so the population stays maximally skewed and
+///   quorum formation is as slow as the fairness envelope permits.
+/// * **Withhold fresh messages**: deliver only messages older than a
+///   pattern-visible age threshold, keeping everyone near the timeout
+///   boundaries.
+/// * **Assassinate talkers**: spend the crash budget on the processors
+///   that have *sent the most messages* (pattern-visible), at moments
+///   when they have just broadcast — dropping their final-step sends,
+///   the classic mid-broadcast failure.
+///
+/// Stays admissible: it never exceeds the budget and the engine's
+/// fairness envelope bounds its starvation, so `t`-nonblocking runs
+/// must still decide. Used in the gauntlet tests as the strongest
+/// in-model stress we can write.
+#[derive(Debug)]
+pub struct AdaptiveAdversary {
+    rng: SmallRng,
+    hold_events: u64,
+    sent_counts: Vec<u64>,
+    crash_after_events: u64,
+}
+
+impl AdaptiveAdversary {
+    /// An adaptive adversary holding messages for `hold_events` and
+    /// starting to spend its crash budget after `crash_after_events`.
+    pub fn new(seed: u64) -> AdaptiveAdversary {
+        AdaptiveAdversary {
+            rng: SmallRng::seed_from_u64(seed),
+            hold_events: 24,
+            crash_after_events: 40,
+            sent_counts: Vec::new(),
+        }
+    }
+
+    /// Overrides the message-holding window (in global events).
+    #[must_use]
+    pub fn hold_events(mut self, hold: u64) -> AdaptiveAdversary {
+        self.hold_events = hold;
+        self
+    }
+}
+
+impl Adversary for AdaptiveAdversary {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        let n = view.population();
+        if self.sent_counts.len() < n {
+            self.sent_counts.resize(n, 0);
+        }
+        // Track send volume from the pattern (messages pending anywhere
+        // were sent by someone; last_sends tells us recent activity).
+        for p in view.alive() {
+            for m in view.pending(p) {
+                // Count each pending message once per observation is
+                // noisy but pattern-legal; decay keeps it bounded.
+                self.sent_counts[m.from.index()] =
+                    self.sent_counts[m.from.index()].saturating_add(1);
+            }
+        }
+        // Assassination: after the warm-up, crash the loudest talker
+        // that just broadcast, dropping everything it sent last step.
+        if view.event() >= self.crash_after_events
+            && view.crashes_remaining() > 0
+            && self.rng.gen_bool(0.15)
+        {
+            let victim = view
+                .alive()
+                .filter(|p| !view.last_sends_of(*p).is_empty())
+                .max_by_key(|p| self.sent_counts[p.index()]);
+            if let Some(victim) = victim {
+                if view.alive().count() > 1 {
+                    let drop = view
+                        .last_sends_of(victim)
+                        .into_iter()
+                        .map(|m| m.id)
+                        .collect();
+                    return Action::Crash { p: victim, drop };
+                }
+            }
+        }
+        // Starvation: step the processor with the lowest clock.
+        let p = view
+            .alive()
+            .min_by_key(|p| (view.clock_of(*p), p.index()))
+            .expect("some processor is alive");
+        let deliver = view
+            .pending(p)
+            .into_iter()
+            .filter(|m| view.event().saturating_sub(m.send_event) >= self.hold_events)
+            .map(|m| m.id)
+            .collect();
+        Action::Step { p, deliver }
+    }
+}
+
+/// Strips the admissibility promise from an inner adversary.
+///
+/// Used for the paper's degradation experiments (Theorem 11, Theorem 14
+/// mechanism): the engine stops enforcing the fault budget and the
+/// fairness envelope, so the wrapped strategy may crash more than `t`
+/// processors or starve messages forever. Reports flag such runs as
+/// inadmissible.
+#[derive(Debug)]
+pub struct Unfair<A>(pub A);
+
+impl<A: Adversary> Adversary for Unfair<A> {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        self.0.next(view)
+    }
+
+    fn admissible(&self) -> bool {
+        false
+    }
+}
+
+/// Wraps a closure as an adversary; handy in tests.
+pub struct ScriptedAdversary<F> {
+    admissible: bool,
+    f: F,
+}
+
+impl<F: FnMut(&PatternView<'_>) -> Action> ScriptedAdversary<F> {
+    /// An admissible adversary driven by `f`.
+    pub fn new(f: F) -> ScriptedAdversary<F> {
+        ScriptedAdversary {
+            admissible: true,
+            f,
+        }
+    }
+
+    /// An adversary driven by `f` that does not promise admissibility.
+    pub fn inadmissible(f: F) -> ScriptedAdversary<F> {
+        ScriptedAdversary {
+            admissible: false,
+            f,
+        }
+    }
+}
+
+impl<F: FnMut(&PatternView<'_>) -> Action> Adversary for ScriptedAdversary<F> {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        (self.f)(view)
+    }
+
+    fn admissible(&self) -> bool {
+        self.admissible
+    }
+}
+
+impl<F> fmt::Debug for ScriptedAdversary<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedAdversary")
+            .field("admissible", &self.admissible)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_model::LocalClock;
+
+    use crate::envelope::MsgMeta;
+
+    fn view<'a>(
+        buffers: &'a [Vec<MsgMeta>],
+        clocks: &'a [LocalClock],
+        crashed: &'a [bool],
+        last: &'a [Option<u64>],
+        event: u64,
+    ) -> PatternView<'a> {
+        PatternView {
+            buffers,
+            clocks,
+            crashed,
+            last_step_event: last,
+            event,
+            fault_budget: 1,
+            crashes_used: 0,
+        }
+    }
+
+    fn meta(id: u64, from: usize, to: usize, send_event: u64) -> MsgMeta {
+        MsgMeta {
+            id: MsgId(id),
+            from: ProcessorId::new(from),
+            to: ProcessorId::new(to),
+            send_event,
+            sender_clock: LocalClock::new(1),
+            guaranteed: true,
+        }
+    }
+
+    #[test]
+    fn synchronous_rotates_and_delivers_everything() {
+        let buffers = vec![vec![meta(0, 1, 0, 0)], vec![]];
+        let clocks = vec![LocalClock::ZERO; 2];
+        let crashed = vec![false, false];
+        let last = vec![None, Some(0)];
+        let mut adv = SynchronousAdversary::new(2);
+        let v = view(&buffers, &clocks, &crashed, &last, 1);
+        match adv.next(&v) {
+            Action::Step { p, deliver } => {
+                assert_eq!(p, ProcessorId::new(0));
+                assert_eq!(deliver, vec![MsgId(0)]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        match adv.next(&v) {
+            Action::Step { p, .. } => assert_eq!(p, ProcessorId::new(1)),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_crashed() {
+        let buffers = vec![vec![], vec![]];
+        let clocks = vec![LocalClock::ZERO; 2];
+        let crashed = vec![true, false];
+        let last = vec![None, None];
+        let mut adv = SynchronousAdversary::new(2);
+        let v = view(&buffers, &clocks, &crashed, &last, 0);
+        for _ in 0..3 {
+            match adv.next(&v) {
+                Action::Step { p, .. } => assert_eq!(p, ProcessorId::new(1)),
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delay_adversary_holds_messages() {
+        let buffers = vec![vec![meta(0, 1, 0, 0)], vec![]];
+        let clocks = vec![LocalClock::ZERO; 2];
+        let crashed = vec![false, false];
+        let last = vec![None, Some(0)];
+        let mut adv = DelayAdversary::new(2, 3); // hold for 6 events
+        let early = view(&buffers, &clocks, &crashed, &last, 4);
+        match adv.next(&early) {
+            Action::Step { deliver, .. } => assert!(deliver.is_empty()),
+            other => panic!("unexpected action {other:?}"),
+        }
+        let mut adv = DelayAdversary::new(2, 3);
+        let due = view(&buffers, &clocks, &crashed, &last, 6);
+        match adv.next(&due) {
+            Action::Step { deliver, .. } => assert_eq!(deliver, vec![MsgId(0)]),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_never_crosses_the_cut() {
+        let buffers = vec![vec![meta(0, 1, 0, 0), meta(1, 0, 0, 0)], vec![]];
+        let clocks = vec![LocalClock::ZERO; 2];
+        let crashed = vec![false, false];
+        let last = vec![Some(0), Some(0)];
+        let mut adv = PartitionAdversary::new(2, &[ProcessorId::new(0)]);
+        assert!(!Adversary::admissible(&adv));
+        let v = view(&buffers, &clocks, &crashed, &last, 1);
+        match adv.next(&v) {
+            Action::Step { p, deliver } => {
+                assert_eq!(p, ProcessorId::new(0));
+                // Only the self-side message (from p0 to p0's side) passes.
+                assert_eq!(deliver, vec![MsgId(1)]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selective_delay_filters_by_predicate() {
+        let buffers = vec![vec![meta(0, 1, 0, 0), meta(1, 0, 0, 0)], vec![]];
+        let clocks = vec![LocalClock::ZERO; 2];
+        let crashed = vec![false, false];
+        let last = vec![Some(0), Some(0)];
+        let mut adv =
+            SelectiveDelayAdversary::new(2, 100, |m: &MsgHandle| m.from == ProcessorId::new(1));
+        let v = view(&buffers, &clocks, &crashed, &last, 5);
+        match adv.next(&v) {
+            Action::Step { deliver, .. } => assert_eq!(deliver, vec![MsgId(1)]),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_adversary_steps_the_slowest_processor() {
+        let buffers = vec![vec![], vec![]];
+        let clocks = vec![LocalClock::new(5), LocalClock::new(2)];
+        let crashed = vec![false, false];
+        let last = vec![None, None];
+        let mut adv = AdaptiveAdversary::new(1);
+        let v = view(&buffers, &clocks, &crashed, &last, 0);
+        match adv.next(&v) {
+            Action::Step { p, .. } => assert_eq!(p, ProcessorId::new(1)),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_adversary_holds_young_messages() {
+        let buffers = vec![vec![meta(0, 1, 0, 90)], vec![]];
+        let clocks = vec![LocalClock::ZERO, LocalClock::new(9)];
+        let crashed = vec![false, false];
+        let last = vec![None, Some(90)];
+        let mut adv = AdaptiveAdversary::new(2).hold_events(50);
+        let v = view(&buffers, &clocks, &crashed, &last, 100);
+        match adv.next(&v) {
+            Action::Step { p, deliver } => {
+                assert_eq!(p, ProcessorId::new(0));
+                assert!(deliver.is_empty(), "message aged only 10 < 50 events");
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_adversary_fires_plans_in_order() {
+        let buffers = vec![vec![], vec![]];
+        let clocks = vec![LocalClock::ZERO; 2];
+        let crashed = vec![false, false];
+        let last = vec![None, None];
+        let mut adv = CrashAdversary::new(
+            SynchronousAdversary::new(2),
+            vec![CrashPlan {
+                at_event: 3,
+                victim: ProcessorId::new(1),
+                drop: DropPolicy::DropAll,
+            }],
+        );
+        let before = view(&buffers, &clocks, &crashed, &last, 2);
+        assert!(matches!(adv.next(&before), Action::Step { .. }));
+        let at = view(&buffers, &clocks, &crashed, &last, 3);
+        match adv.next(&at) {
+            Action::Crash { p, .. } => assert_eq!(p, ProcessorId::new(1)),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

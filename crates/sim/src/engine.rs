@@ -1,0 +1,832 @@
+//! The discrete-event engine: applies adversary-chosen events to a
+//! population of automata, enforcing the model's rules.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use rtc_model::{
+    Automaton, Delivery, LocalClock, ModelError, ProcessorId, SeedCollection, Status, TimingParams,
+    Value,
+};
+
+use crate::adversary::{Action, Adversary, ContentAdversary, ContentView, PatternView};
+use crate::envelope::{MsgId, MsgMeta};
+use crate::trace::{DecisionRecord, EventRecord, MsgRecord, Trace};
+
+/// Errors produced when an adversary's action violates the model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The action names a processor outside `0..n`.
+    UnknownProcessor {
+        /// The offending processor.
+        p: ProcessorId,
+    },
+    /// A crashed processor cannot take further steps.
+    StepOnCrashed {
+        /// The crashed processor.
+        p: ProcessorId,
+    },
+    /// A delivery id was not in the stepping processor's buffer.
+    DeliverNotBuffered {
+        /// The stepping processor.
+        p: ProcessorId,
+        /// The missing message.
+        id: MsgId,
+    },
+    /// An admissible adversary tried to exceed the fault budget `t`.
+    FaultBudgetExceeded {
+        /// The fault budget.
+        t: usize,
+    },
+    /// A crash tried to drop a message that is not from the crashing
+    /// processor's final step (such messages are *guaranteed*).
+    DropNotDroppable {
+        /// The crashing processor.
+        p: ProcessorId,
+        /// The message that may not be dropped.
+        id: MsgId,
+    },
+    /// An automaton emitted two messages for one destination in a single
+    /// step, which the model forbids.
+    DuplicateDestination {
+        /// The sending processor.
+        p: ProcessorId,
+        /// The destination that received two messages.
+        to: ProcessorId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownProcessor { p } => write!(f, "unknown processor {p}"),
+            SimError::StepOnCrashed { p } => write!(f, "crashed processor {p} cannot step"),
+            SimError::DeliverNotBuffered { p, id } => {
+                write!(f, "message {id} is not buffered at {p}")
+            }
+            SimError::FaultBudgetExceeded { t } => {
+                write!(f, "admissible adversary exceeded the fault budget t = {t}")
+            }
+            SimError::DropNotDroppable { p, id } => {
+                write!(
+                    f,
+                    "message {id} was not sent at {p}'s final step and is guaranteed"
+                )
+            }
+            SimError::DuplicateDestination { p, to } => {
+                write!(f, "{p} sent two messages to {to} in one step")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Parameters of the admissibility envelope.
+///
+/// The paper's `t`-admissibility is a property of infinite runs:
+/// guaranteed messages to nonfaulty processors are eventually delivered
+/// and nonfaulty processors take infinitely many steps. The engine
+/// enforces a finite-prefix version: a guaranteed message pending longer
+/// than `max_defer_events` global events is force-delivered, and a
+/// processor unscheduled for more than `max_idle_events` events is
+/// force-stepped. Applied only to adversaries that claim
+/// [`Adversary::admissible`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FairnessParams {
+    /// Maximum global events a guaranteed message may stay buffered.
+    pub max_defer_events: u64,
+    /// Maximum global events an alive processor may go without a step.
+    pub max_idle_events: u64,
+}
+
+impl FairnessParams {
+    /// A reasonable envelope for a population of `n` processors: roomy
+    /// enough that it never interferes with plausible schedules, tight
+    /// enough that runs make progress.
+    pub fn for_population(n: usize) -> FairnessParams {
+        let n = n.max(1) as u64;
+        FairnessParams {
+            max_defer_events: 64 * n,
+            max_idle_events: 64 * n,
+        }
+    }
+}
+
+/// When a run is considered finished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Every non-crashed processor has decided (the paper's `DONE`).
+    #[default]
+    AllNonfaultyDecided,
+    /// Every non-crashed processor has halted (returned from the
+    /// protocol and fallen silent).
+    AllNonfaultyHalted,
+}
+
+/// Bounds on a single run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Hard cap on the number of events; hitting it marks the run
+    /// *stalled*.
+    pub max_events: u64,
+    /// The success condition.
+    pub stop: StopWhen,
+}
+
+impl Default for RunLimits {
+    fn default() -> RunLimits {
+        RunLimits {
+            max_events: 1_000_000,
+            stop: StopWhen::default(),
+        }
+    }
+}
+
+impl RunLimits {
+    /// Limits with a custom event cap and the default stop condition.
+    pub fn with_max_events(max_events: u64) -> RunLimits {
+        RunLimits {
+            max_events,
+            ..RunLimits::default()
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    statuses: Vec<Status>,
+    crashed: Vec<bool>,
+    events: u64,
+    stalled: bool,
+    admissible: bool,
+}
+
+impl RunReport {
+    /// Final status of every processor, indexed by processor id.
+    pub fn statuses(&self) -> &[Status] {
+        &self.statuses
+    }
+
+    /// Whether processor `p` crashed during the run.
+    pub fn is_faulty(&self, p: ProcessorId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// Total number of events executed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the run hit its event cap before meeting its stop
+    /// condition.
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Whether the driving adversary claimed admissibility.
+    pub fn admissible(&self) -> bool {
+        self.admissible
+    }
+
+    /// Whether every non-crashed processor decided.
+    pub fn all_nonfaulty_decided(&self) -> bool {
+        self.statuses
+            .iter()
+            .zip(&self.crashed)
+            .all(|(s, crashed)| *crashed || s.is_decided())
+    }
+
+    /// The set of distinct decided values across *all* processors —
+    /// the paper's agreement condition requires this to have at most one
+    /// element in every configuration of an admissible run.
+    pub fn decided_values(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.statuses.iter().filter_map(|s| s.value()).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Whether the agreement condition holds for the final configuration.
+    pub fn agreement_holds(&self) -> bool {
+        self.decided_values().len() <= 1
+    }
+}
+
+/// Builder for [`Sim`].
+#[derive(Clone, Copy, Debug)]
+pub struct SimBuilder {
+    timing: TimingParams,
+    seeds: SeedCollection,
+    fault_budget: usize,
+    fairness: Option<FairnessParams>,
+}
+
+impl SimBuilder {
+    /// Starts a builder with the given timing constants and seed
+    /// collection `F`.
+    pub fn new(timing: TimingParams, seeds: SeedCollection) -> SimBuilder {
+        SimBuilder {
+            timing,
+            seeds,
+            fault_budget: 0,
+            fairness: None,
+        }
+    }
+
+    /// Sets the fault budget `t` (maximum crashes an admissible
+    /// adversary may inject).
+    pub fn fault_budget(mut self, t: usize) -> SimBuilder {
+        self.fault_budget = t;
+        self
+    }
+
+    /// Overrides the default fairness envelope.
+    pub fn fairness(mut self, params: FairnessParams) -> SimBuilder {
+        self.fairness = Some(params);
+        self
+    }
+
+    /// Builds the engine over one automaton per processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PopulationTooLarge`] if `procs` is empty or
+    /// the automata ids are not exactly `0..n` in order.
+    pub fn build<A: Automaton>(self, procs: Vec<A>) -> Result<Sim<A>, ModelError> {
+        let n = procs.len();
+        if n == 0 {
+            return Err(ModelError::PopulationTooLarge { requested: 0 });
+        }
+        for (i, a) in procs.iter().enumerate() {
+            if a.id() != ProcessorId::new(i) {
+                return Err(ModelError::PopulationTooLarge { requested: i });
+            }
+        }
+        let fairness = self
+            .fairness
+            .unwrap_or_else(|| FairnessParams::for_population(n));
+        Ok(Sim {
+            timing: self.timing,
+            seeds: self.seeds,
+            fault_budget: self.fault_budget,
+            fairness,
+            autos: procs,
+            clocks: vec![LocalClock::ZERO; n],
+            crashed: vec![false; n],
+            decided: vec![false; n],
+            buf_meta: vec![Vec::new(); n],
+            buf_payload: (0..n).map(|_| Vec::new()).collect(),
+            last_step_event: vec![None; n],
+            last_sched_event: vec![0; n],
+            event: 0,
+            next_msg: 0,
+            crashes_used: 0,
+            trace: Trace::new(n),
+        })
+    }
+}
+
+/// The discrete-event simulation engine (see the crate docs for the
+/// model it implements).
+pub struct Sim<A: Automaton> {
+    timing: TimingParams,
+    seeds: SeedCollection,
+    fault_budget: usize,
+    fairness: FairnessParams,
+    autos: Vec<A>,
+    clocks: Vec<LocalClock>,
+    crashed: Vec<bool>,
+    decided: Vec<bool>,
+    buf_meta: Vec<Vec<MsgMeta>>,
+    buf_payload: Vec<Vec<A::Msg>>,
+    last_step_event: Vec<Option<u64>>,
+    last_sched_event: Vec<u64>,
+    event: u64,
+    next_msg: u64,
+    crashes_used: usize,
+    trace: Trace,
+}
+
+impl<A: Automaton> fmt::Debug for Sim<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("population", &self.autos.len())
+            .field("event", &self.event)
+            .field("crashes_used", &self.crashes_used)
+            .finish()
+    }
+}
+
+impl<A: Automaton> Sim<A> {
+    /// Number of processors.
+    pub fn population(&self) -> usize {
+        self.autos.len()
+    }
+
+    /// The timing constants of this run.
+    pub fn timing(&self) -> TimingParams {
+        self.timing
+    }
+
+    /// The fault budget `t`.
+    pub fn fault_budget(&self) -> usize {
+        self.fault_budget
+    }
+
+    /// Current statuses, indexed by processor.
+    pub fn statuses(&self) -> Vec<Status> {
+        self.autos.iter().map(Automaton::status).collect()
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to one automaton (e.g. to read protocol-specific
+    /// state in tests).
+    pub fn automaton(&self, p: ProcessorId) -> &A {
+        &self.autos[p.index()]
+    }
+
+    /// Runs the engine under a pattern-only adversary until the stop
+    /// condition or the event cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] when the adversary violates the model.
+    pub fn run(
+        &mut self,
+        adversary: &mut dyn Adversary,
+        limits: RunLimits,
+    ) -> Result<RunReport, SimError> {
+        self.run_content(&mut AsContent(adversary), limits)
+    }
+
+    /// Runs the engine under a content-inspecting adversary (see
+    /// [`ContentAdversary`] for the caveat).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] when the adversary violates the model.
+    pub fn run_content(
+        &mut self,
+        adversary: &mut dyn ContentAdversary<A::Msg>,
+        limits: RunLimits,
+    ) -> Result<RunReport, SimError> {
+        let admissible = adversary.admissible();
+        while !self.stop_met(limits.stop) {
+            if self.event >= limits.max_events {
+                return Ok(self.report(true, admissible));
+            }
+            let action = match (admissible, self.forced_action()) {
+                (true, Some(forced)) => forced,
+                _ => {
+                    let view = ContentView {
+                        pattern: self.pattern_view(),
+                        payloads: &self.buf_payload,
+                    };
+                    adversary.next(&view)
+                }
+            };
+            self.apply(action, admissible)?;
+        }
+        Ok(self.report(false, admissible))
+    }
+
+    fn stop_met(&self, stop: StopWhen) -> bool {
+        self.autos.iter().zip(&self.crashed).all(|(a, crashed)| {
+            *crashed
+                || match stop {
+                    StopWhen::AllNonfaultyDecided => a.status().is_decided(),
+                    StopWhen::AllNonfaultyHalted => matches!(a.status(), Status::Halted(_)),
+                }
+        })
+    }
+
+    fn report(&self, stalled: bool, admissible: bool) -> RunReport {
+        RunReport {
+            statuses: self.statuses(),
+            crashed: self.crashed.clone(),
+            events: self.event,
+            stalled,
+            admissible,
+        }
+    }
+
+    fn pattern_view(&self) -> PatternView<'_> {
+        PatternView {
+            buffers: &self.buf_meta,
+            clocks: &self.clocks,
+            crashed: &self.crashed,
+            last_step_event: &self.last_step_event,
+            event: self.event,
+            fault_budget: self.fault_budget,
+            crashes_used: self.crashes_used,
+        }
+    }
+
+    /// The fairness envelope: returns an overriding action when the
+    /// adversary has starved a message or a processor past the limits.
+    fn forced_action(&self) -> Option<Action> {
+        // Overdue guaranteed messages to alive processors first.
+        for (i, metas) in self.buf_meta.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
+            let overdue: Vec<MsgId> = metas
+                .iter()
+                .filter(|m| {
+                    m.guaranteed
+                        && self.event.saturating_sub(m.send_event) > self.fairness.max_defer_events
+                })
+                .map(|m| m.id)
+                .collect();
+            if !overdue.is_empty() {
+                return Some(Action::Step {
+                    p: ProcessorId::new(i),
+                    deliver: overdue,
+                });
+            }
+        }
+        // Then starved processors.
+        for i in 0..self.autos.len() {
+            if !self.crashed[i]
+                && self.event.saturating_sub(self.last_sched_event[i])
+                    > self.fairness.max_idle_events
+            {
+                return Some(Action::Step {
+                    p: ProcessorId::new(i),
+                    deliver: Vec::new(),
+                });
+            }
+        }
+        None
+    }
+
+    fn apply(&mut self, action: Action, admissible: bool) -> Result<(), SimError> {
+        match action {
+            Action::Step { p, deliver } => self.apply_step(p, deliver),
+            Action::Crash { p, drop } => self.apply_crash(p, drop, admissible),
+        }
+    }
+
+    fn apply_step(&mut self, p: ProcessorId, deliver: Vec<MsgId>) -> Result<(), SimError> {
+        let i = p.index();
+        if i >= self.autos.len() {
+            return Err(SimError::UnknownProcessor { p });
+        }
+        if self.crashed[i] {
+            return Err(SimError::StepOnCrashed { p });
+        }
+        // Extract the deliveries from p's buffer.
+        let mut deliveries: Vec<Delivery<A::Msg>> = Vec::with_capacity(deliver.len());
+        for id in &deliver {
+            let pos = self.buf_meta[i]
+                .iter()
+                .position(|m| m.id == *id)
+                .ok_or(SimError::DeliverNotBuffered { p, id: *id })?;
+            let meta = self.buf_meta[i].remove(pos);
+            let payload = self.buf_payload[i].remove(pos);
+            deliveries.push(Delivery::new(meta.from, payload));
+        }
+        // Step the automaton with this step's random number.
+        let mut rng = self.seeds.step_rng(p, self.clocks[i]);
+        let outs = self.autos[i].step(&deliveries, &mut rng);
+        self.clocks[i] = self.clocks[i].tick();
+        let clock_after = self.clocks[i];
+        // Validate one-message-per-destination and enqueue.
+        let mut dests: HashSet<ProcessorId> = HashSet::with_capacity(outs.len());
+        let mut sent_ids = Vec::with_capacity(outs.len());
+        for out in outs {
+            if !dests.insert(out.to) {
+                return Err(SimError::DuplicateDestination { p, to: out.to });
+            }
+            if out.to.index() >= self.autos.len() {
+                return Err(SimError::UnknownProcessor { p: out.to });
+            }
+            let id = MsgId(self.next_msg);
+            self.next_msg += 1;
+            let meta = MsgMeta {
+                id,
+                from: p,
+                to: out.to,
+                send_event: self.event,
+                sender_clock: clock_after,
+                guaranteed: true,
+            };
+            self.buf_meta[out.to.index()].push(meta);
+            self.buf_payload[out.to.index()].push(out.msg);
+            self.trace.push_msg(MsgRecord {
+                id,
+                from: p,
+                to: out.to,
+                send_event: self.event,
+                sender_clock: clock_after,
+                recv_event: None,
+                recv_clock: None,
+                dropped: false,
+            });
+            sent_ids.push(id);
+        }
+        for id in &deliver {
+            self.trace.note_delivery(*id, self.event, clock_after);
+        }
+        self.trace.push_event(EventRecord::Step {
+            p,
+            clock_after,
+            delivered: deliver,
+            sent: sent_ids,
+        });
+        // Decision bookkeeping.
+        if !self.decided[i] {
+            if let Some(value) = self.autos[i].status().value() {
+                self.decided[i] = true;
+                self.trace.push_decision(DecisionRecord {
+                    p,
+                    value,
+                    clock: clock_after,
+                    event: self.event,
+                });
+            }
+        }
+        self.last_step_event[i] = Some(self.event);
+        self.last_sched_event[i] = self.event;
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_crash(
+        &mut self,
+        p: ProcessorId,
+        drop: Vec<MsgId>,
+        admissible: bool,
+    ) -> Result<(), SimError> {
+        let i = p.index();
+        if i >= self.autos.len() {
+            return Err(SimError::UnknownProcessor { p });
+        }
+        if self.crashed[i] {
+            return Err(SimError::StepOnCrashed { p });
+        }
+        if admissible && self.crashes_used >= self.fault_budget {
+            return Err(SimError::FaultBudgetExceeded {
+                t: self.fault_budget,
+            });
+        }
+        // Only messages from p's final step may be dropped.
+        let last = self.last_step_event[i];
+        for id in &drop {
+            let found = self.buf_meta.iter().flatten().find(|m| m.id == *id);
+            match (found, last) {
+                (Some(m), Some(last_ev)) if m.from == p && m.send_event == last_ev => {}
+                _ => return Err(SimError::DropNotDroppable { p, id: *id }),
+            }
+        }
+        for id in &drop {
+            for j in 0..self.buf_meta.len() {
+                if let Some(pos) = self.buf_meta[j].iter().position(|m| m.id == *id) {
+                    self.buf_meta[j].remove(pos);
+                    self.buf_payload[j].remove(pos);
+                }
+            }
+            self.trace.note_drop(*id);
+        }
+        self.crashed[i] = true;
+        self.crashes_used += 1;
+        self.trace.push_event(EventRecord::Crash { p });
+        self.event += 1;
+        Ok(())
+    }
+}
+
+/// Adapter presenting a pattern-only adversary as a content adversary
+/// without exposing payloads to it.
+struct AsContent<'a>(&'a mut dyn Adversary);
+
+impl<M> ContentAdversary<M> for AsContent<'_> {
+    fn next(&mut self, view: &ContentView<'_, M>) -> Action {
+        self.0.next(view.pattern())
+    }
+
+    fn admissible(&self) -> bool {
+        self.0.admissible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_model::{Send, StepRng};
+
+    /// Echoes every received message back to its sender; decides One
+    /// after receiving `target` messages.
+    struct Echo {
+        id: ProcessorId,
+        n: usize,
+        received: usize,
+        target: usize,
+    }
+
+    impl Echo {
+        fn new(id: ProcessorId, n: usize, target: usize) -> Echo {
+            Echo {
+                id,
+                n,
+                received: 0,
+                target,
+            }
+        }
+    }
+
+    impl Automaton for Echo {
+        type Msg = u32;
+
+        fn id(&self) -> ProcessorId {
+            self.id
+        }
+
+        fn step(&mut self, delivered: &[Delivery<u32>], _rng: &mut StepRng) -> Vec<Send<u32>> {
+            self.received += delivered.len();
+            if self.received == 0 && self.id.is_coordinator() {
+                // Kick off: coordinator broadcasts once at its first step.
+                return ProcessorId::all(self.n)
+                    .filter(|q| *q != self.id)
+                    .map(|q| Send::new(q, 1))
+                    .collect();
+            }
+            delivered.iter().map(|d| Send::new(d.from, 1)).collect()
+        }
+
+        fn status(&self) -> Status {
+            if self.received >= self.target {
+                Status::Decided(Value::One)
+            } else {
+                Status::Undecided
+            }
+        }
+    }
+
+    fn sim(n: usize, target: usize) -> Sim<Echo> {
+        let procs: Vec<Echo> = ProcessorId::all(n)
+            .map(|p| Echo::new(p, n, target))
+            .collect();
+        SimBuilder::new(TimingParams::default(), SeedCollection::new(11))
+            .fault_budget((n - 1) / 2)
+            .build(procs)
+            .unwrap()
+    }
+
+    #[test]
+    fn synchronous_run_decides() {
+        let mut s = sim(3, 2);
+        let mut adv = crate::adversaries::SynchronousAdversary::new(3);
+        let report = s.run(&mut adv, RunLimits::default()).unwrap();
+        assert!(report.all_nonfaulty_decided());
+        assert!(!report.stalled());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn fairness_rescues_a_starving_adversary() {
+        /// An adversary that only ever steps p0 with no deliveries.
+        struct Starver;
+        impl Adversary for Starver {
+            fn next(&mut self, _: &PatternView<'_>) -> Action {
+                Action::Step {
+                    p: ProcessorId::new(0),
+                    deliver: vec![],
+                }
+            }
+        }
+        let mut s = sim(2, 1);
+        let report = s
+            .run(&mut Starver, RunLimits::with_max_events(100_000))
+            .unwrap();
+        // The envelope must eventually deliver the coordinator's kick-off
+        // message to p1 and step p1, letting everyone decide.
+        assert!(report.all_nonfaulty_decided());
+    }
+
+    #[test]
+    fn step_on_crashed_is_rejected() {
+        struct CrashThenStep(u32);
+        impl Adversary for CrashThenStep {
+            fn next(&mut self, _: &PatternView<'_>) -> Action {
+                self.0 += 1;
+                if self.0 == 1 {
+                    Action::Crash {
+                        p: ProcessorId::new(1),
+                        drop: vec![],
+                    }
+                } else {
+                    Action::Step {
+                        p: ProcessorId::new(1),
+                        deliver: vec![],
+                    }
+                }
+            }
+        }
+        let mut s = sim(3, 2);
+        let err = s
+            .run(&mut CrashThenStep(0), RunLimits::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::StepOnCrashed {
+                p: ProcessorId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn fault_budget_is_enforced_for_admissible_adversaries() {
+        struct CrashAll(usize);
+        impl Adversary for CrashAll {
+            fn next(&mut self, _: &PatternView<'_>) -> Action {
+                let p = ProcessorId::new(self.0);
+                self.0 += 1;
+                Action::Crash { p, drop: vec![] }
+            }
+        }
+        let mut s = sim(3, 2); // budget = 1
+        let err = s.run(&mut CrashAll(0), RunLimits::default()).unwrap_err();
+        assert_eq!(err, SimError::FaultBudgetExceeded { t: 1 });
+    }
+
+    #[test]
+    fn inadmissible_adversary_may_exceed_budget_and_stall() {
+        struct CrashMost(usize);
+        impl Adversary for CrashMost {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                if self.0 + 1 < view.population() {
+                    let p = ProcessorId::new(self.0);
+                    self.0 += 1;
+                    Action::Crash { p, drop: vec![] }
+                } else {
+                    Action::Step {
+                        p: ProcessorId::new(self.0),
+                        deliver: vec![],
+                    }
+                }
+            }
+            fn admissible(&self) -> bool {
+                false
+            }
+        }
+        let mut s = sim(3, 2);
+        let report = s
+            .run(&mut CrashMost(0), RunLimits::with_max_events(500))
+            .unwrap();
+        assert!(report.stalled());
+        assert!(!report.admissible());
+        // Safety: nobody decided anything conflicting.
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn drop_is_limited_to_final_step_sends() {
+        struct DropEarly;
+        impl Adversary for DropEarly {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                // Step p0 twice so its first sends are no longer "last
+                // step" sends, then try to drop one of them.
+                let p0 = ProcessorId::new(0);
+                if view.clock_of(p0).ticks() < 2 {
+                    return Action::Step {
+                        p: p0,
+                        deliver: vec![],
+                    };
+                }
+                let pending = view.pending(ProcessorId::new(1));
+                Action::Crash {
+                    p: p0,
+                    drop: vec![pending[0].id],
+                }
+            }
+        }
+        let mut s = sim(3, 2);
+        let err = s.run(&mut DropEarly, RunLimits::default()).unwrap_err();
+        assert!(matches!(err, SimError::DropNotDroppable { .. }));
+    }
+
+    #[test]
+    fn trace_records_decisions_and_messages() {
+        let mut s = sim(3, 2);
+        let mut adv = crate::adversaries::SynchronousAdversary::new(3);
+        s.run(&mut adv, RunLimits::default()).unwrap();
+        let trace = s.trace();
+        assert_eq!(trace.decisions().len(), 3);
+        assert!(!trace.messages().is_empty());
+        // Every delivered message's receive event is after its send event.
+        for m in trace.messages() {
+            if let Some(recv) = m.recv_event {
+                assert!(recv > m.send_event);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! In-flight message identities and metadata.
+
+use std::fmt;
+
+use rtc_model::{LocalClock, ProcessorId};
+
+/// Uniquely identifies a message within one run.
+///
+/// Ids are assigned in send order, so they double as an index into the
+/// run's [`crate::Trace`] message table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub(crate) u64);
+
+impl MsgId {
+    /// The dense index of this message in send order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Pattern-visible metadata of a buffered message: everything the
+/// adversary of Section 2.3 is allowed to see about it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct MsgMeta {
+    pub id: MsgId,
+    pub from: ProcessorId,
+    pub to: ProcessorId,
+    /// Global index of the event at which the message was sent.
+    pub send_event: u64,
+    /// The sender's clock immediately after the sending step.
+    pub sender_clock: LocalClock,
+    /// Whether the message is guaranteed (not sent at the sender's final
+    /// step before a crash). Finalized at crash time; `true` while the
+    /// sender is alive.
+    pub guaranteed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_orders_by_send_order() {
+        assert!(MsgId(1) < MsgId(2));
+        assert_eq!(MsgId(3).index(), 3);
+        assert_eq!(format!("{:?}", MsgId(5)), "m5");
+    }
+}

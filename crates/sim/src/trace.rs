@@ -1,0 +1,298 @@
+//! Run traces: the raw material for round accounting and metrics.
+//!
+//! A [`Trace`] is the executable counterpart of the paper's *run*: the
+//! sequence of events together with enough metadata to reconstruct the
+//! message pattern, compute asynchronous rounds (Section 2.2), and test
+//! on-time-ness (Section 2.2's lateness predicate).
+
+use std::fmt;
+
+use rtc_model::{LocalClock, ProcessorId, Value};
+
+use crate::envelope::MsgId;
+
+/// The lifetime of one message, as recorded in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// The message's run-unique id.
+    pub id: MsgId,
+    /// Sender.
+    pub from: ProcessorId,
+    /// Destination.
+    pub to: ProcessorId,
+    /// Global index of the sending event.
+    pub send_event: u64,
+    /// Sender's clock immediately after the sending step.
+    pub sender_clock: LocalClock,
+    /// Global index of the receiving event, if the message was delivered.
+    pub recv_event: Option<u64>,
+    /// Receiver's clock immediately after the receiving step, if
+    /// delivered.
+    pub recv_clock: Option<LocalClock>,
+    /// Whether the message was dropped at a crash (only possible for
+    /// messages sent at the sender's final step — they are not
+    /// *guaranteed* in the paper's sense).
+    pub dropped: bool,
+}
+
+impl MsgRecord {
+    /// Whether the message was delivered during the traced prefix.
+    pub fn delivered(&self) -> bool {
+        self.recv_event.is_some()
+    }
+}
+
+/// One event of the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventRecord {
+    /// Processor `p` took a step, receiving the listed messages.
+    Step {
+        /// The stepping processor.
+        p: ProcessorId,
+        /// `p`'s clock after the step.
+        clock_after: LocalClock,
+        /// Messages delivered at this event.
+        delivered: Vec<MsgId>,
+        /// Messages sent at this event.
+        sent: Vec<MsgId>,
+    },
+    /// Processor `p` crashed (an explicit failure step).
+    Crash {
+        /// The crashing processor.
+        p: ProcessorId,
+    },
+}
+
+impl EventRecord {
+    /// The processor involved in this event.
+    pub fn processor(&self) -> ProcessorId {
+        match self {
+            EventRecord::Step { p, .. } | EventRecord::Crash { p } => *p,
+        }
+    }
+}
+
+/// A decision observed during the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// The deciding processor.
+    pub p: ProcessorId,
+    /// The decided value.
+    pub value: Value,
+    /// The processor's clock when it decided.
+    pub clock: LocalClock,
+    /// Global index of the deciding event.
+    pub event: u64,
+}
+
+/// A full record of one run: events, messages, crashes, decisions.
+#[derive(Clone, Default)]
+pub struct Trace {
+    events: Vec<EventRecord>,
+    msgs: Vec<MsgRecord>,
+    crashed: Vec<ProcessorId>,
+    decisions: Vec<DecisionRecord>,
+    /// Per-processor list of global event indices at which it stepped,
+    /// for O(log) "steps between events" queries.
+    step_events: Vec<Vec<u64>>,
+}
+
+impl Trace {
+    pub(crate) fn new(n: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            msgs: Vec::new(),
+            crashed: Vec::new(),
+            decisions: Vec::new(),
+            step_events: vec![Vec::new(); n],
+        }
+    }
+
+    pub(crate) fn push_event(&mut self, ev: EventRecord) {
+        let idx = self.events.len() as u64;
+        if let EventRecord::Step { p, .. } = &ev {
+            self.step_events[p.index()].push(idx);
+        }
+        if let EventRecord::Crash { p } = &ev {
+            self.crashed.push(*p);
+        }
+        self.events.push(ev);
+    }
+
+    pub(crate) fn push_msg(&mut self, rec: MsgRecord) {
+        debug_assert_eq!(rec.id.index(), self.msgs.len());
+        self.msgs.push(rec);
+    }
+
+    pub(crate) fn note_delivery(&mut self, id: MsgId, event: u64, clock: LocalClock) {
+        let rec = &mut self.msgs[id.index()];
+        rec.recv_event = Some(event);
+        rec.recv_clock = Some(clock);
+    }
+
+    pub(crate) fn note_drop(&mut self, id: MsgId) {
+        self.msgs[id.index()].dropped = true;
+    }
+
+    pub(crate) fn push_decision(&mut self, d: DecisionRecord) {
+        self.decisions.push(d);
+    }
+
+    /// Number of processors in the traced run.
+    pub fn population(&self) -> usize {
+        self.step_events.len()
+    }
+
+    /// The events of the run, in order.
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// All messages sent during the run, indexed by [`MsgId`].
+    pub fn messages(&self) -> &[MsgRecord] {
+        &self.msgs
+    }
+
+    /// Processors that crashed during the run (the faulty set of this
+    /// finite prefix).
+    pub fn faulty(&self) -> &[ProcessorId] {
+        &self.crashed
+    }
+
+    /// Decisions in the order they occurred.
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// The decision record of processor `p`, if it decided.
+    pub fn decision_of(&self, p: ProcessorId) -> Option<DecisionRecord> {
+        self.decisions.iter().find(|d| d.p == p).copied()
+    }
+
+    /// How many steps processor `p` took strictly after global event `a`
+    /// and at-or-before global event `b`.
+    pub fn steps_between(&self, p: ProcessorId, a: u64, b: u64) -> u64 {
+        let evs = &self.step_events[p.index()];
+        let lo = evs.partition_point(|&e| e <= a);
+        let hi = evs.partition_point(|&e| e <= b);
+        (hi - lo) as u64
+    }
+
+    /// Whether message `m` is *late* per Section 2.2: some processor took
+    /// more than `k` steps between the sending event and the receiving
+    /// event. Undelivered messages are not (yet) late.
+    pub fn is_late(&self, m: &MsgRecord, k: u64) -> bool {
+        let Some(recv) = m.recv_event else {
+            return false;
+        };
+        ProcessorId::all(self.population()).any(|p| self.steps_between(p, m.send_event, recv) > k)
+    }
+
+    /// Whether the traced prefix is *on-time*: contains no late message.
+    pub fn is_on_time(&self, k: u64) -> bool {
+        self.msgs.iter().all(|m| !self.is_late(m, k))
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("events", &self.events.len())
+            .field("messages", &self.msgs.len())
+            .field("crashed", &self.crashed)
+            .field("decisions", &self.decisions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64, from: usize, to: usize, send_event: u64) -> MsgRecord {
+        MsgRecord {
+            id: MsgId(id),
+            from: ProcessorId::new(from),
+            to: ProcessorId::new(to),
+            send_event,
+            sender_clock: LocalClock::new(1),
+            recv_event: None,
+            recv_clock: None,
+            dropped: false,
+        }
+    }
+
+    fn step(p: usize, clock: u64) -> EventRecord {
+        EventRecord::Step {
+            p: ProcessorId::new(p),
+            clock_after: LocalClock::new(clock),
+            delivered: vec![],
+            sent: vec![],
+        }
+    }
+
+    #[test]
+    fn steps_between_counts_half_open_interval() {
+        let mut t = Trace::new(2);
+        t.push_event(step(0, 1)); // event 0
+        t.push_event(step(1, 1)); // event 1
+        t.push_event(step(0, 2)); // event 2
+        t.push_event(step(0, 3)); // event 3
+        assert_eq!(t.steps_between(ProcessorId::new(0), 0, 3), 2);
+        assert_eq!(t.steps_between(ProcessorId::new(0), 0, 0), 0);
+        assert_eq!(t.steps_between(ProcessorId::new(1), 0, 3), 1);
+    }
+
+    #[test]
+    fn lateness_uses_any_processor() {
+        let mut t = Trace::new(2);
+        // p0 sends at event 0; p1 receives at event 4; p0 took 3 more steps
+        // in between => late when K < 3 for p0's count.
+        t.push_event(step(0, 1));
+        t.push_msg(msg(0, 0, 1, 0));
+        t.push_event(step(0, 2));
+        t.push_event(step(0, 3));
+        t.push_event(step(0, 4));
+        t.push_event(step(1, 1));
+        t.note_delivery(MsgId(0), 4, LocalClock::new(1));
+        let m = &t.messages()[0];
+        assert!(t.is_late(m, 2));
+        assert!(!t.is_late(m, 3));
+        assert!(!t.is_on_time(2));
+        assert!(t.is_on_time(3));
+    }
+
+    #[test]
+    fn undelivered_messages_are_not_late() {
+        let mut t = Trace::new(2);
+        t.push_event(step(0, 1));
+        t.push_msg(msg(0, 0, 1, 0));
+        assert!(!t.is_late(&t.messages()[0], 1));
+    }
+
+    #[test]
+    fn crash_records_faulty_set() {
+        let mut t = Trace::new(3);
+        t.push_event(EventRecord::Crash {
+            p: ProcessorId::new(2),
+        });
+        assert_eq!(t.faulty(), &[ProcessorId::new(2)]);
+        assert_eq!(t.events()[0].processor(), ProcessorId::new(2));
+    }
+
+    #[test]
+    fn decision_lookup() {
+        let mut t = Trace::new(2);
+        t.push_decision(DecisionRecord {
+            p: ProcessorId::new(1),
+            value: Value::One,
+            clock: LocalClock::new(9),
+            event: 17,
+        });
+        assert_eq!(
+            t.decision_of(ProcessorId::new(1)).unwrap().value,
+            Value::One
+        );
+        assert!(t.decision_of(ProcessorId::new(0)).is_none());
+    }
+}

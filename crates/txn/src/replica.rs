@@ -1,0 +1,488 @@
+//! A database replica: one commit-protocol instance per transaction,
+//! multiplexed over a single automaton.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rtc_core::{CommitAutomaton, CommitConfig, CommitMsg};
+use rtc_model::{Automaton, Decision, Delivery, ProcessorId, Send, Status, StepRng, Value};
+
+use crate::store::{Store, Transaction, TxId};
+use crate::wal::{LogRecord, Wal};
+
+/// One transaction's worth of protocol traffic.
+pub type TxMsg = (TxId, CommitMsg);
+
+/// Progress summary of a replica's batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxBatchStatus {
+    /// Transactions decided commit.
+    pub committed: Vec<TxId>,
+    /// Transactions decided abort.
+    pub aborted: Vec<TxId>,
+    /// Transactions still undecided.
+    pub pending: Vec<TxId>,
+}
+
+/// A replica of the distributed database: validates a batch of
+/// transactions against its local store, runs one Coan–Lundelius commit
+/// instance per transaction, write-ahead-logs every vote and decision,
+/// and applies the committed set in [`TxId`] order.
+///
+/// The replica is itself an [`Automaton`] (messages are bundles of
+/// per-transaction protocol messages), so whole batches run unchanged
+/// on the discrete-event simulator or the threaded runtime.
+#[derive(Clone)]
+pub struct Replica {
+    id: ProcessorId,
+    initial: Store,
+    batch: BTreeMap<TxId, Transaction>,
+    instances: BTreeMap<TxId, CommitAutomaton>,
+    outcomes: BTreeMap<TxId, Decision>,
+    wal: Wal,
+    n: usize,
+}
+
+impl Replica {
+    /// Creates the replica for processor `id` over `batch`, voting per
+    /// local validation against `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` contains duplicate transaction ids.
+    pub fn new(
+        cfg: CommitConfig,
+        id: ProcessorId,
+        initial: Store,
+        batch: &[Transaction],
+    ) -> Replica {
+        let mut votes: BTreeMap<TxId, Value> = BTreeMap::new();
+        for tx in batch {
+            let vote = Value::from_bool(initial.validates(tx));
+            assert!(
+                votes.insert(tx.id, vote).is_none(),
+                "duplicate transaction id {}",
+                tx.id
+            );
+        }
+        Replica::with_votes(cfg, id, initial, batch, &votes)
+    }
+
+    /// Creates the replica with explicit per-transaction votes
+    /// (overriding local validation — useful to model replica-local
+    /// constraints such as liens or resource reservations the store
+    /// does not capture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` does not cover exactly the batch ids.
+    pub fn with_votes(
+        cfg: CommitConfig,
+        id: ProcessorId,
+        initial: Store,
+        batch: &[Transaction],
+        votes: &BTreeMap<TxId, Value>,
+    ) -> Replica {
+        let mut wal = Wal::new();
+        let mut instances = BTreeMap::new();
+        let mut txs = BTreeMap::new();
+        for tx in batch {
+            let vote = *votes.get(&tx.id).expect("one vote per transaction");
+            wal.append(LogRecord::Vote { tx: tx.id, vote });
+            instances.insert(tx.id, CommitAutomaton::new(cfg, id, vote));
+            txs.insert(tx.id, tx.clone());
+        }
+        assert_eq!(votes.len(), txs.len(), "votes must cover exactly the batch");
+        Replica {
+            id,
+            initial,
+            batch: txs,
+            instances,
+            outcomes: BTreeMap::new(),
+            wal,
+            n: cfg.population(),
+        }
+    }
+
+    /// Reconstructs a replica from its write-ahead log after a restart.
+    ///
+    /// Votes are pinned to the logged votes (a restarted replica must
+    /// honour what it promised), and logged decisions are adopted
+    /// outright — decided transactions are *not* re-run. Protocol
+    /// instances are recreated only for transactions that were still
+    /// undecided at the crash.
+    ///
+    /// Rejoining a *live* population mid-protocol additionally requires
+    /// the decision-broadcast extension
+    /// ([`CommitConfig::with_decision_broadcast`]) so that peers that
+    /// already decided re-announce; without it this constructor is the
+    /// restart-after-quiescence path (e.g. replaying the log to rebuild
+    /// the store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log lacks a vote for some transaction in `batch`,
+    /// or fails its invariants.
+    pub fn recover(
+        cfg: CommitConfig,
+        id: ProcessorId,
+        initial: Store,
+        batch: &[Transaction],
+        wal: &Wal,
+    ) -> Replica {
+        wal.check_invariants()
+            .expect("recovering from a corrupt WAL");
+        let mut instances = BTreeMap::new();
+        let mut outcomes = BTreeMap::new();
+        let mut txs = BTreeMap::new();
+        for tx in batch {
+            let vote = wal
+                .vote_of(tx.id)
+                .unwrap_or_else(|| panic!("no logged vote for {}", tx.id));
+            match wal.decision_of(tx.id) {
+                Some(decision) => {
+                    outcomes.insert(tx.id, decision);
+                }
+                None => {
+                    instances.insert(tx.id, CommitAutomaton::new(cfg, id, vote));
+                }
+            }
+            txs.insert(tx.id, tx.clone());
+        }
+        Replica {
+            id,
+            initial,
+            batch: txs,
+            instances,
+            outcomes,
+            wal: wal.clone(),
+            n: cfg.population(),
+        }
+    }
+
+    /// The decided fate of every transaction so far.
+    pub fn outcomes(&self) -> &BTreeMap<TxId, Decision> {
+        &self.outcomes
+    }
+
+    /// The replica's write-ahead log.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// The committed/aborted/pending breakdown.
+    pub fn batch_status(&self) -> TxBatchStatus {
+        let mut status = TxBatchStatus {
+            committed: Vec::new(),
+            aborted: Vec::new(),
+            pending: Vec::new(),
+        };
+        for id in self.batch.keys() {
+            match self.outcomes.get(id) {
+                Some(Decision::Commit) => status.committed.push(*id),
+                Some(Decision::Abort) => status.aborted.push(*id),
+                None => status.pending.push(*id),
+            }
+        }
+        status
+    }
+
+    /// The store after applying all committed transactions in [`TxId`]
+    /// order.
+    pub fn store(&self) -> Store {
+        let committed: BTreeMap<TxId, Transaction> = self
+            .outcomes
+            .iter()
+            .filter(|(_, d)| **d == Decision::Commit)
+            .map(|(id, _)| (*id, self.batch[id].clone()))
+            .collect();
+        Store::rebuild(&self.initial, &committed)
+    }
+}
+
+impl Automaton for Replica {
+    type Msg = Vec<TxMsg>;
+
+    fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Delivery<Vec<TxMsg>>],
+        rng: &mut StepRng,
+    ) -> Vec<Send<Vec<TxMsg>>> {
+        // Route deliveries to their instances.
+        let mut per_tx: BTreeMap<TxId, Vec<Delivery<CommitMsg>>> = BTreeMap::new();
+        for d in delivered {
+            for (tx, msg) in &d.msg {
+                per_tx
+                    .entry(*tx)
+                    .or_default()
+                    .push(Delivery::new(d.from, msg.clone()));
+            }
+        }
+        // Step every instance (each counts this as one clock tick) and
+        // pool the outgoing traffic per destination.
+        let empty: Vec<Delivery<CommitMsg>> = Vec::new();
+        let mut outgoing: BTreeMap<ProcessorId, Vec<TxMsg>> = BTreeMap::new();
+        for (tx, instance) in self.instances.iter_mut() {
+            let inbox = per_tx.get(tx).unwrap_or(&empty);
+            for send in instance.step(inbox, rng) {
+                outgoing.entry(send.to).or_default().push((*tx, send.msg));
+            }
+            if !self.outcomes.contains_key(tx) {
+                if let Some(decision) = instance.status().decision() {
+                    self.outcomes.insert(*tx, decision);
+                    self.wal.append(LogRecord::Decision { tx: *tx, decision });
+                }
+            }
+        }
+        let _ = self.n;
+        outgoing
+            .into_iter()
+            .map(|(to, msgs)| Send::new(to, msgs))
+            .collect()
+    }
+
+    fn status(&self) -> Status {
+        if self.outcomes.len() == self.batch.len() {
+            let any_commit = self.outcomes.values().any(|d| *d == Decision::Commit);
+            Status::Decided(Value::from_bool(any_commit))
+        } else {
+            Status::Undecided
+        }
+    }
+}
+
+impl fmt::Debug for Replica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("batch", &self.batch.len())
+            .field("decided", &self.outcomes.len())
+            .finish()
+    }
+}
+
+/// Builds the replica population for a batch, all starting from the
+/// same initial store (votes via local validation).
+pub fn replica_population(
+    cfg: CommitConfig,
+    initial: &Store,
+    batch: &[Transaction],
+) -> Vec<Replica> {
+    ProcessorId::all(cfg.population())
+        .map(|p| Replica::new(cfg, p, initial.clone(), batch))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_model::{SeedCollection, TimingParams};
+    use rtc_sim::adversaries::{RandomAdversary, SynchronousAdversary};
+    use rtc_sim::{RunLimits, SimBuilder};
+
+    use super::*;
+    use crate::store::Op;
+
+    fn cfg(n: usize) -> CommitConfig {
+        CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+    }
+
+    fn transfer(id: u64, from: &str, to: &str, amount: i64) -> Transaction {
+        Transaction::new(
+            id,
+            vec![
+                Op::Add {
+                    key: from.into(),
+                    delta: -amount,
+                    floor: 0,
+                },
+                Op::add(to, amount),
+            ],
+        )
+    }
+
+    fn run_batch(n: usize, initial: &Store, batch: &[Transaction], seed: u64) -> Vec<Replica> {
+        let c = cfg(n);
+        let procs = replica_population(c, initial, batch);
+        let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(seed))
+            .fault_budget(c.fault_bound())
+            .build(procs)
+            .unwrap();
+        let mut adv = SynchronousAdversary::new(n);
+        let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+        assert!(report.all_nonfaulty_decided(), "batch did not finish");
+        ProcessorId::all(n)
+            .map(|p| sim.automaton(p).clone())
+            .collect()
+    }
+
+    #[test]
+    fn valid_batch_commits_everywhere_and_stores_agree() {
+        let initial = Store::with_entries([("alice", 100), ("bob", 50)]);
+        let batch = vec![
+            transfer(1, "alice", "bob", 30),
+            transfer(2, "bob", "alice", 10),
+        ];
+        let replicas = run_batch(4, &initial, &batch, 5);
+        let expected = {
+            let mut s = initial.clone();
+            s.apply(&batch[0]);
+            s.apply(&batch[1]);
+            s
+        };
+        for r in &replicas {
+            assert_eq!(r.batch_status().pending, Vec::<TxId>::new());
+            assert_eq!(r.store(), expected, "replica {:?} diverged", r.id());
+            assert!(r.wal().check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn overdraft_aborts_everywhere_but_other_txs_commit() {
+        let initial = Store::with_entries([("alice", 100)]);
+        let batch = vec![
+            transfer(1, "alice", "bob", 70),
+            transfer(2, "alice", "bob", 9_999), // overdraft: aborted
+        ];
+        let replicas = run_batch(5, &initial, &batch, 6);
+        for r in &replicas {
+            let status = r.batch_status();
+            assert_eq!(status.committed, vec![TxId(1)]);
+            assert_eq!(status.aborted, vec![TxId(2)]);
+            assert_eq!(r.store().get("alice"), 30);
+            assert_eq!(r.store().get("bob"), 70);
+        }
+    }
+
+    #[test]
+    fn atomicity_holds_under_random_schedules() {
+        let initial = Store::with_entries([("a", 10), ("b", 10), ("c", 10)]);
+        let batch = vec![
+            transfer(1, "a", "b", 5),
+            transfer(2, "b", "c", 20), // may or may not validate depending on... it reads b=10 < 20: abort vote everywhere
+            transfer(3, "c", "a", 10),
+        ];
+        for seed in 0..10u64 {
+            let n = 4;
+            let c = cfg(n);
+            let procs = replica_population(c, &initial, &batch);
+            let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(seed))
+                .fault_budget(c.fault_bound())
+                .build(procs)
+                .unwrap();
+            let mut adv = RandomAdversary::new(seed)
+                .deliver_prob(0.6)
+                .crash_prob(0.005);
+            let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+            assert!(report.all_nonfaulty_decided());
+            // All surviving replicas agree per transaction and on the
+            // final store.
+            let survivors: Vec<&Replica> = ProcessorId::all(n)
+                .filter(|p| !report.is_faulty(*p))
+                .map(|p| sim.automaton(p))
+                .collect();
+            let reference = survivors[0];
+            for r in &survivors[1..] {
+                assert_eq!(r.outcomes(), reference.outcomes(), "seed {seed}");
+                assert_eq!(r.store(), reference.store(), "seed {seed}");
+            }
+            for r in &survivors {
+                assert!(r.wal().check_invariants().is_ok(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_local_votes_still_converge_globally() {
+        // Replica 2 holds a local lien on alice's funds: it votes abort
+        // on tx 1 even though the store validates it. One dissent is
+        // enough to abort everywhere.
+        let n = 3;
+        let c = cfg(n);
+        let initial = Store::with_entries([("alice", 100)]);
+        let batch = vec![transfer(1, "alice", "bob", 50)];
+        let procs: Vec<Replica> = ProcessorId::all(n)
+            .map(|p| {
+                let mut votes = BTreeMap::new();
+                votes.insert(TxId(1), Value::from_bool(p != ProcessorId::new(2)));
+                Replica::with_votes(c, p, initial.clone(), &batch, &votes)
+            })
+            .collect();
+        let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(2))
+            .fault_budget(c.fault_bound())
+            .build(procs)
+            .unwrap();
+        let mut adv = SynchronousAdversary::new(n);
+        let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+        assert!(report.all_nonfaulty_decided());
+        for p in ProcessorId::all(n) {
+            assert_eq!(sim.automaton(p).outcomes()[&TxId(1)], Decision::Abort);
+            assert_eq!(sim.automaton(p).store(), initial);
+        }
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_exactly() {
+        let initial = Store::with_entries([("alice", 100)]);
+        let batch = vec![
+            transfer(1, "alice", "bob", 70),
+            transfer(2, "alice", "bob", 9_999),
+        ];
+        let replicas = run_batch(4, &initial, &batch, 11);
+        let original = &replicas[2];
+        let recovered = Replica::recover(
+            cfg(4),
+            ProcessorId::new(2),
+            initial.clone(),
+            &batch,
+            original.wal(),
+        );
+        assert_eq!(recovered.outcomes(), original.outcomes());
+        assert_eq!(recovered.store(), original.store());
+        assert!(
+            recovered.status().is_decided(),
+            "fully-decided WAL recovers decided"
+        );
+    }
+
+    #[test]
+    fn recovery_recreates_instances_for_undecided_transactions() {
+        use crate::wal::LogRecord;
+        let c = cfg(3);
+        let batch = vec![transfer(1, "a", "b", 1)];
+        let mut wal = crate::wal::Wal::new();
+        wal.append(LogRecord::Vote {
+            tx: TxId(1),
+            vote: Value::One,
+        });
+        let recovered = Replica::recover(
+            c,
+            ProcessorId::new(1),
+            Store::with_entries([("a", 10)]),
+            &batch,
+            &wal,
+        );
+        assert!(!recovered.status().is_decided());
+        assert_eq!(recovered.batch_status().pending, vec![TxId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no logged vote")]
+    fn recovery_requires_logged_votes() {
+        let c = cfg(3);
+        let batch = vec![transfer(1, "a", "b", 1)];
+        let wal = crate::wal::Wal::new();
+        let _ = Replica::recover(c, ProcessorId::new(0), Store::new(), &batch, &wal);
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_decided() {
+        let c = cfg(3);
+        let r = Replica::new(c, ProcessorId::new(0), Store::new(), &[]);
+        assert!(r.status().is_decided());
+        assert_eq!(r.batch_status().pending, Vec::<TxId>::new());
+    }
+}

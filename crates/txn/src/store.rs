@@ -1,0 +1,248 @@
+//! Transactions and the replicated key-value store.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a transaction; also fixes the deterministic apply order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+/// One operation of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Set `key` to `value`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value to install.
+        value: i64,
+    },
+    /// Add `delta` to `key`, requiring the result to stay at or above
+    /// `floor` — the classic account-balance constraint that makes a
+    /// replica vote abort when the transfer would overdraw.
+    Add {
+        /// The key.
+        key: String,
+        /// Signed amount to add.
+        delta: i64,
+        /// Minimum allowed result.
+        floor: i64,
+    },
+}
+
+impl Op {
+    /// Convenience constructor for [`Op::Put`].
+    pub fn put(key: impl Into<String>, value: i64) -> Op {
+        Op::Put {
+            key: key.into(),
+            value,
+        }
+    }
+
+    /// Convenience constructor for [`Op::Add`] with a zero floor.
+    pub fn add(key: impl Into<String>, delta: i64) -> Op {
+        Op::Add {
+            key: key.into(),
+            delta,
+            floor: 0,
+        }
+    }
+}
+
+/// A transaction: an identified batch of operations, committed or
+/// aborted atomically across all replicas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// The transaction id (also the apply-order key).
+    pub id: TxId,
+    /// The operations.
+    pub ops: Vec<Op>,
+}
+
+impl Transaction {
+    /// Creates a transaction.
+    pub fn new(id: u64, ops: Vec<Op>) -> Transaction {
+        Transaction { id: TxId(id), ops }
+    }
+}
+
+/// The key-value store state of one replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Store {
+    data: BTreeMap<String, i64>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// A store pre-loaded with the given entries.
+    pub fn with_entries<I, K>(entries: I) -> Store
+    where
+        I: IntoIterator<Item = (K, i64)>,
+        K: Into<String>,
+    {
+        Store {
+            data: entries.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Reads a key (absent keys read as 0, like an account that was
+    /// never opened).
+    pub fn get(&self, key: &str) -> i64 {
+        self.data.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether `tx` passes its constraints against this store state.
+    /// This is the local validation a replica runs to form its initial
+    /// vote.
+    pub fn validates(&self, tx: &Transaction) -> bool {
+        // Constraints are checked against the cumulative effect of the
+        // transaction's own ops, in order.
+        let mut scratch = self.clone();
+        for op in &tx.ops {
+            match op {
+                Op::Put { key, value } => {
+                    scratch.data.insert(key.clone(), *value);
+                }
+                Op::Add { key, delta, floor } => {
+                    let next = scratch.get(key) + delta;
+                    if next < *floor {
+                        return false;
+                    }
+                    scratch.data.insert(key.clone(), next);
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies `tx` unconditionally (callers decide commit first).
+    pub fn apply(&mut self, tx: &Transaction) {
+        for op in &tx.ops {
+            match op {
+                Op::Put { key, value } => {
+                    self.data.insert(key.clone(), *value);
+                }
+                Op::Add { key, delta, .. } => {
+                    let next = self.get(key) + delta;
+                    self.data.insert(key.clone(), next);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the store from an initial state plus a set of committed
+    /// transactions, applied in [`TxId`] order — the deterministic
+    /// apply rule that makes replicas with equal committed sets equal.
+    pub fn rebuild(initial: &Store, committed: &BTreeMap<TxId, Transaction>) -> Store {
+        let mut store = initial.clone();
+        for tx in committed.values() {
+            store.apply(tx);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(id: u64, from: &str, to: &str, amount: i64) -> Transaction {
+        Transaction::new(
+            id,
+            vec![
+                Op::Add {
+                    key: from.into(),
+                    delta: -amount,
+                    floor: 0,
+                },
+                Op::add(to, amount),
+            ],
+        )
+    }
+
+    #[test]
+    fn absent_keys_read_zero() {
+        let s = Store::new();
+        assert_eq!(s.get("nope"), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn validation_respects_floors() {
+        let s = Store::with_entries([("a", 100)]);
+        assert!(s.validates(&transfer(1, "a", "b", 100)));
+        assert!(!s.validates(&transfer(2, "a", "b", 101)));
+    }
+
+    #[test]
+    fn validation_is_cumulative_within_a_transaction() {
+        let s = Store::with_entries([("a", 100)]);
+        let tx = Transaction::new(
+            3,
+            vec![
+                Op::Add {
+                    key: "a".into(),
+                    delta: -80,
+                    floor: 0,
+                },
+                Op::Add {
+                    key: "a".into(),
+                    delta: -80,
+                    floor: 0,
+                },
+            ],
+        );
+        assert!(!s.validates(&tx), "second withdrawal must see the first");
+    }
+
+    #[test]
+    fn apply_and_rebuild_agree() {
+        let initial = Store::with_entries([("a", 50), ("b", 0)]);
+        let t1 = transfer(1, "a", "b", 20);
+        let t2 = transfer(2, "a", "b", 10);
+        let mut direct = initial.clone();
+        direct.apply(&t1);
+        direct.apply(&t2);
+        let committed: BTreeMap<TxId, Transaction> = [(t2.id, t2.clone()), (t1.id, t1.clone())]
+            .into_iter()
+            .collect();
+        assert_eq!(Store::rebuild(&initial, &committed), direct);
+    }
+
+    #[test]
+    fn rebuild_order_is_txid_not_insertion() {
+        let initial = Store::with_entries([("x", 0)]);
+        let a = Transaction::new(1, vec![Op::put("x", 1)]);
+        let b = Transaction::new(2, vec![Op::put("x", 2)]);
+        // Insert b first; rebuild must still apply tx1 before tx2.
+        let committed: BTreeMap<TxId, Transaction> =
+            [(b.id, b.clone()), (a.id, a.clone())].into_iter().collect();
+        assert_eq!(Store::rebuild(&initial, &committed).get("x"), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The write-ahead log: a durable, append-only record of everything a
+//! replica promised.
+//!
+//! In a real deployment this is the fsync'd log that lets a restarted
+//! replica honour its votes; here it is an in-memory append-only
+//! structure whose *invariants* are machine-checked by tests:
+//!
+//! 1. a `Vote` for a transaction precedes any `Decision` for it;
+//! 2. at most one `Decision` is ever logged per transaction;
+//! 3. a replica that voted abort never logs a commit decision for that
+//!    transaction (its own vote already forced the outcome).
+
+use rtc_model::{Decision, Value};
+
+use crate::store::TxId;
+
+/// One append-only log record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// The replica learned of the transaction and formed its vote.
+    Vote {
+        /// The transaction.
+        tx: TxId,
+        /// The local vote (`One` = willing to commit).
+        vote: Value,
+    },
+    /// The global decision for the transaction.
+    Decision {
+        /// The transaction.
+        tx: TxId,
+        /// The decided fate.
+        decision: Decision,
+    },
+}
+
+/// An append-only write-ahead log.
+#[derive(Clone, Debug, Default)]
+pub struct Wal {
+    records: Vec<LogRecord>,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Wal {
+        Wal::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// The records, in append order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// The vote logged for `tx`, if any.
+    pub fn vote_of(&self, tx: TxId) -> Option<Value> {
+        self.records.iter().find_map(|r| match r {
+            LogRecord::Vote { tx: t, vote } if *t == tx => Some(*vote),
+            _ => None,
+        })
+    }
+
+    /// The decision logged for `tx`, if any.
+    pub fn decision_of(&self, tx: TxId) -> Option<Decision> {
+        self.records.iter().find_map(|r| match r {
+            LogRecord::Decision { tx: t, decision } if *t == tx => Some(*decision),
+            _ => None,
+        })
+    }
+
+    /// Checks the log invariants; returns a description of the first
+    /// violation, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, r) in self.records.iter().enumerate() {
+            if let LogRecord::Decision { tx, decision } = r {
+                let vote = self.records[..i].iter().find_map(|e| match e {
+                    LogRecord::Vote { tx: t, vote } if t == tx => Some(*vote),
+                    _ => None,
+                });
+                match vote {
+                    None => return Err(format!("decision for {tx} before any vote")),
+                    Some(Value::Zero) if *decision == Decision::Commit => {
+                        return Err(format!("{tx}: committed against an abort vote"));
+                    }
+                    _ => {}
+                }
+                let dup = self.records[..i]
+                    .iter()
+                    .any(|e| matches!(e, LogRecord::Decision { tx: t, .. } if t == tx));
+                if dup {
+                    return Err(format!("duplicate decision for {tx}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_first_records() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Vote {
+            tx: TxId(1),
+            vote: Value::One,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(1),
+            decision: Decision::Commit,
+        });
+        assert_eq!(wal.vote_of(TxId(1)), Some(Value::One));
+        assert_eq!(wal.decision_of(TxId(1)), Some(Decision::Commit));
+        assert_eq!(wal.vote_of(TxId(2)), None);
+        assert!(wal.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn decision_before_vote_is_flagged() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Decision {
+            tx: TxId(1),
+            decision: Decision::Abort,
+        });
+        assert!(wal.check_invariants().is_err());
+    }
+
+    #[test]
+    fn commit_against_abort_vote_is_flagged() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Vote {
+            tx: TxId(1),
+            vote: Value::Zero,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(1),
+            decision: Decision::Commit,
+        });
+        assert!(wal.check_invariants().is_err());
+    }
+
+    #[test]
+    fn duplicate_decisions_are_flagged() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Vote {
+            tx: TxId(1),
+            vote: Value::One,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(1),
+            decision: Decision::Commit,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(1),
+            decision: Decision::Commit,
+        });
+        assert!(wal.check_invariants().is_err());
+    }
+
+    #[test]
+    fn abort_after_abort_vote_is_fine() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Vote {
+            tx: TxId(9),
+            vote: Value::Zero,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(9),
+            decision: Decision::Abort,
+        });
+        assert!(wal.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! Bounded exhaustive model checking, live: verify the commit protocol
+//! over a complete coarse schedule space, then point the identical
+//! sweep at three-phase commit and watch it rediscover the paper's
+//! motivating bug — returning a replayable witness schedule.
+//!
+//! Run with: `cargo run --release --example model_checking`
+
+use rtc::baselines::threepc_population;
+use rtc::lockstep::modelcheck::{check, commit_safety, witness_schedule, CheckParams};
+use rtc::lockstep::{LockstepSim, UniformDelayPolicy};
+use rtc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Verifying the commit protocol (n = 3, t = 1) ==\n");
+    for votes in [
+        vec![Value::One, Value::One, Value::One],
+        vec![Value::One, Value::Zero, Value::One],
+    ] {
+        let pattern: String = votes.iter().map(|v| v.to_string()).collect();
+        let inner = votes.clone();
+        let make = move || {
+            let cfg = CommitConfig::new(3, 1, TimingParams::default()).expect("valid");
+            LockstepSim::new(commit_population(cfg, &inner), SeedCollection::new(5))
+                .without_history()
+        };
+        let report = check(
+            make,
+            CheckParams {
+                depth: 8,
+                sweep_single_crash: true,
+                horizon_cycles: 1_000,
+            },
+            commit_safety(&votes),
+        );
+        println!(
+            "  votes {pattern}: {} schedules x crash placements swept, {} violations",
+            report.paths,
+            report.violations.len()
+        );
+        assert!(report.ok());
+    }
+
+    println!("\n== Falsifying three-phase commit with the same sweep ==\n");
+    let make = || {
+        let procs = threepc_population(3, TimingParams::default(), &[Value::One; 3]);
+        LockstepSim::new(procs, SeedCollection::new(3)).without_history()
+    };
+    let report = check(
+        make,
+        CheckParams {
+            depth: 12,
+            sweep_single_crash: false,
+            horizon_cycles: 500,
+        },
+        |summary| {
+            if summary.agreement_holds() {
+                Ok(())
+            } else {
+                Err("split decision".into())
+            }
+        },
+    );
+    assert!(!report.ok());
+    let witness = &report.violations[0];
+    println!(
+        "  found {} violating schedules among {} swept; first witness:",
+        report.violations.len(),
+        report.paths
+    );
+    println!("    per-cycle choices: {:?}", witness.prefix);
+    println!("    reason: {}", witness.reason);
+
+    // Replay the witness to show it is real.
+    let schedule = witness_schedule(3, witness);
+    let mut replay = make();
+    replay.run_schedule(&schedule, 1);
+    let (_, summary) = replay.run_policy(&mut UniformDelayPolicy::new(1), 500);
+    println!("    replayed decisions: {:?}", summary.statuses);
+    assert!(!summary.agreement_holds());
+    println!(
+        "\n  3PC splits its decision with zero crashes — one asymmetrically late\n  \
+         message is enough, exactly the failure the paper's model is built to rule out."
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Smoke tests over the experiment harness: every experiment runs at
+//! quick effort, produces a non-empty table, and its invariant columns
+//! carry the values the paper's theorems demand.
+
+use rtc::experiments::{run_all, Effort, ExperimentResult};
+
+fn cell(row: &str, idx: usize) -> String {
+    row.split('|')
+        .map(str::trim)
+        .nth(idx)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn data_rows(result: &ExperimentResult) -> Vec<String> {
+    result
+        .table
+        .to_markdown()
+        .lines()
+        .skip(2)
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn all_experiments_run_and_render() {
+    let results = run_all(Effort::Quick);
+    assert_eq!(results.len(), 18);
+    let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
+    assert_eq!(
+        ids,
+        [
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "T8", "A1",
+            "A2", "A3", "A4", "MC1"
+        ]
+    );
+    for r in &results {
+        assert!(!r.table.is_empty(), "{} produced no rows", r.id);
+        let md = r.to_markdown();
+        assert!(md.contains("**Paper claim.**"), "{} lacks its claim", r.id);
+    }
+}
+
+#[test]
+fn safety_invariants_in_experiment_outputs() {
+    for r in run_all(Effort::Quick) {
+        match r.id {
+            // T3: failure-free rows must be within the 8K bound; crash
+            // rows (remark 2) have no hard bound and report n/a.
+            "T3" => {
+                for row in data_rows(&r) {
+                    if cell(&row, 3) == "0" {
+                        assert_eq!(cell(&row, 7), "yes", "T3 bound violated: {row}");
+                    } else {
+                        assert_eq!(cell(&row, 7), "n/a", "T3 crash row malformed: {row}");
+                    }
+                }
+            }
+            // T5: zero conflicting decisions past the fault bound.
+            "T5" => {
+                for row in data_rows(&r) {
+                    assert_eq!(cell(&row, 3), "0", "T5 conflict: {row}");
+                }
+            }
+            // T6/T7: zero violations of the validity conditions.
+            "T6" | "T7" => {
+                for row in data_rows(&r) {
+                    assert_eq!(cell(&row, 3), "0", "{} violation: {row}", r.id);
+                }
+            }
+            // T8: partitions stall 100% and never conflict.
+            "T8" => {
+                for row in data_rows(&r) {
+                    assert_eq!(cell(&row, 4), "0", "T8 conflict: {row}");
+                    assert_eq!(cell(&row, 5), "100.0%", "T8 terminated?: {row}");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn f1_shows_the_expected_ordering() {
+    let r = run_all(Effort::Quick)
+        .into_iter()
+        .find(|r| r.id == "F1")
+        .unwrap();
+    for row in data_rows(&r) {
+        let benor: f64 = cell(&row, 3).parse().unwrap();
+        let shared: f64 = cell(&row, 5).parse().unwrap();
+        assert!(
+            benor >= shared,
+            "Ben-Or should never beat the shared coin under the driver: {row}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Golden determinism tests: `run(A, I, F)` is a pure function of the
+//! adversary, initial configuration, and seed collection (the paper's
+//! Section 2.3), so these exact run shapes must never change
+//! accidentally.
+//!
+//! If a deliberate change to the protocol, engine, or adversaries
+//! alters scheduling or message counts, update the pinned values *in
+//! the same change* and say why in the commit message.
+
+use rtc::prelude::*;
+
+struct Golden {
+    n: usize,
+    seed: u64,
+    events: u64,
+    msgs: usize,
+    decision_clocks: &'static [u64],
+}
+
+const GOLDEN: &[Golden] = &[
+    Golden {
+        n: 3,
+        seed: 1,
+        events: 37,
+        msgs: 26,
+        decision_clocks: &[18, 12, 7],
+    },
+    Golden {
+        n: 5,
+        seed: 42,
+        events: 82,
+        msgs: 112,
+        decision_clocks: &[16, 17, 13, 20, 13],
+    },
+    Golden {
+        n: 7,
+        seed: 7,
+        events: 97,
+        msgs: 204,
+        decision_clocks: &[10, 11, 7, 14, 10, 10, 14],
+    },
+];
+
+#[test]
+fn pinned_runs_reproduce_exactly() {
+    for g in GOLDEN {
+        let cfg = CommitConfig::new(
+            g.n,
+            CommitConfig::max_tolerated(g.n),
+            TimingParams::default(),
+        )
+        .unwrap();
+        let procs = commit_population(cfg, &vec![Value::One; g.n]);
+        let mut sim = SimBuilder::new(cfg.timing(), SeedCollection::new(g.seed))
+            .fault_budget(cfg.fault_bound())
+            .build(procs)
+            .unwrap();
+        let mut adv = RandomAdversary::new(g.seed).deliver_prob(0.6);
+        let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+        assert_eq!(
+            report.events(),
+            g.events,
+            "n = {}, seed = {}: events drifted",
+            g.n,
+            g.seed
+        );
+        assert_eq!(
+            sim.trace().messages().len(),
+            g.msgs,
+            "n = {}, seed = {}: message count drifted",
+            g.n,
+            g.seed
+        );
+        let clocks: Vec<u64> = ProcessorId::all(g.n)
+            .map(|p| sim.trace().decision_of(p).expect("decides").clock.ticks())
+            .collect();
+        assert_eq!(
+            clocks, g.decision_clocks,
+            "n = {}, seed = {}: decision clocks drifted",
+            g.n, g.seed
+        );
+    }
+}
+
+#[test]
+fn identical_runs_are_bit_identical_across_invocations() {
+    // Beyond the pinned constants: two fresh executions in this very
+    // process must agree on everything observable, including the trace
+    // and the message pattern.
+    let run = || {
+        let cfg = CommitConfig::new(5, 2, TimingParams::default()).unwrap();
+        let procs = commit_population(cfg, &[Value::One; 5]);
+        let mut sim = SimBuilder::new(cfg.timing(), SeedCollection::new(1234))
+            .fault_budget(2)
+            .build(procs)
+            .unwrap();
+        let mut adv = RandomAdversary::new(99).deliver_prob(0.5).crash_prob(0.01);
+        let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+        let pattern = rtc::sim::MessagePattern::of_trace(sim.trace());
+        (report.events(), report.statuses().to_vec(), pattern)
+    };
+    let (e1, s1, p1) = run();
+    let (e2, s2, p2) = run();
+    assert_eq!(e1, e2);
+    assert_eq!(s1, s2);
+    assert_eq!(p1, p2);
+    assert!(p1.check_wellformed().is_ok());
+}
+
+#[test]
+fn seed_changes_change_the_run_but_not_the_decision() {
+    // Different F: different schedule interleavings are possible, but
+    // the unanimous-commit outcome under an admissible adversary is
+    // invariant.
+    let mut shapes = std::collections::BTreeSet::new();
+    for seed in 0..8u64 {
+        let cfg = CommitConfig::new(4, 1, TimingParams::default()).unwrap();
+        let procs = commit_population(cfg, &[Value::One; 4]);
+        let mut sim = SimBuilder::new(cfg.timing(), SeedCollection::new(seed))
+            .fault_budget(1)
+            .build(procs)
+            .unwrap();
+        let mut adv = RandomAdversary::new(seed).deliver_prob(0.6);
+        let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+        assert_eq!(report.decided_values(), vec![Value::One], "seed {seed}");
+        shapes.insert(report.events());
+    }
+    assert!(
+        shapes.len() > 1,
+        "different seeds should explore different schedules"
+    );
+}

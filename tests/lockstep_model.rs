@@ -1,0 +1,166 @@
+//! Cross-crate tests of the lockstep lower-bound model: schedule
+//! transformations, Lemma-12-style observable equality, and valency on
+//! the real commit protocol.
+
+use rtc::lockstep::valency::{classify, ExploreParams, Valency};
+use rtc::lockstep::{
+    DeafenPolicy, KillPolicy, LockstepSim, PartitionPolicy, Schedule, TurnAction,
+    UniformDelayPolicy,
+};
+use rtc::prelude::*;
+
+fn sim(votes: &[Value], seed: u64) -> LockstepSim<CommitAutomaton> {
+    let n = votes.len();
+    let cfg =
+        CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap();
+    LockstepSim::new(commit_population(cfg, votes), SeedCollection::new(seed))
+}
+
+#[test]
+fn recorded_schedules_replay_exactly() {
+    let mut original = sim(&[Value::One; 4], 11);
+    let (schedule, summary) = original.run_policy(&mut UniformDelayPolicy::new(2), 1_000);
+    assert!(summary.all_nonfaulty_decided);
+
+    let mut replay = sim(&[Value::One; 4], 11);
+    let replayed = replay.run_schedule(&schedule, 2);
+    assert_eq!(summary.statuses, replayed.statuses);
+    let all: Vec<ProcessorId> = ProcessorId::all(4).collect();
+    assert!(original.observably_equal_for(&replay, &all));
+}
+
+#[test]
+fn kill_transformation_is_equivalent_to_the_kill_policy() {
+    // The paper's kill(S, σ) on a recorded schedule must produce the
+    // same run as the KillPolicy applied live — validating that
+    // schedules-as-data and policies-as-strategies agree.
+    let victims = vec![ProcessorId::new(3)];
+
+    let mut policy_run = sim(&[Value::One; 4], 21);
+    let mut kill_policy = KillPolicy::new(UniformDelayPolicy::new(1), victims.clone(), 0);
+    let (recorded, policy_summary) = policy_run.run_policy(&mut kill_policy, 400);
+
+    // The uniform-delay policy only ever chooses DeliverDue, so the
+    // plain schedule of equal length is the all-deliver one; transform
+    // it with the paper's kill(S, ·).
+    let plain = Schedule::new(4, vec![TurnAction::DeliverDue; recorded.len()]);
+    let transformed = plain.kill(&victims);
+
+    let mut replay = sim(&[Value::One; 4], 21);
+    let replay_summary = replay.run_schedule(&transformed, 1);
+
+    // The surviving group's decisions agree across the two routes.
+    for p in 0..3 {
+        assert_eq!(
+            policy_summary.statuses[p].value(),
+            replay_summary.statuses[p].value(),
+            "p{p} diverged between kill-policy and kill-transformed schedule"
+        );
+    }
+}
+
+#[test]
+fn deafening_a_group_keeps_the_rest_observably_identical_until_they_need_it() {
+    // Lemma 13(b) flavour: deafen(S', σ) is applicable and — while the
+    // S-side of the run receives no messages from S' — S's view remains
+    // exactly the run's view. We construct the simplest such window:
+    // the first cycle, before any message is deliverable (delays ≥ 1
+    // mean nothing can be received in cycle 0).
+    let group_s: Vec<ProcessorId> = vec![ProcessorId::new(0), ProcessorId::new(1)];
+    let group_s_prime: Vec<ProcessorId> = vec![ProcessorId::new(2)];
+
+    let mut plain = sim(&[Value::One; 3], 31);
+    let (schedule, _) = plain.run_policy(&mut UniformDelayPolicy::new(1), 1);
+
+    let deafened = schedule.deafen(&group_s_prime);
+    let mut altered = sim(&[Value::One; 3], 31);
+    altered.run_schedule(&deafened, 1);
+
+    assert!(plain.observably_equal_for(&altered, &group_s));
+}
+
+#[test]
+fn deafened_processors_never_deliver_anything() {
+    let mut s = sim(&[Value::One; 3], 5);
+    let mut policy = DeafenPolicy::new(UniformDelayPolicy::new(1), vec![ProcessorId::new(1)]);
+    let (schedule, summary) = s.run_policy(&mut policy, 60);
+    assert!(summary.agreement_holds());
+    for turn in s.history_of(&[ProcessorId::new(1)]) {
+        assert!(turn.delivered.is_empty());
+    }
+    // And the recorded schedule says so, durably.
+    for (i, action) in schedule.turns().iter().enumerate() {
+        if schedule.processor_of(i) == ProcessorId::new(1) {
+            assert!(matches!(action, TurnAction::Silent | TurnAction::Fail));
+        }
+    }
+}
+
+#[test]
+fn lockstep_partition_matches_the_async_partition_result() {
+    for n in [2usize, 4, 6] {
+        let mut s = sim(&vec![Value::One; n], n as u64);
+        let group_a: Vec<ProcessorId> = ProcessorId::all(n / 2).collect();
+        let policy = PartitionPolicy::new(n, &group_a);
+        let (_, summary) = s.run_partition(&policy, 300);
+        assert!(!summary.all_nonfaulty_decided, "n = {n} must stall");
+        assert!(summary.agreement_holds(), "n = {n} must stay safe");
+    }
+}
+
+#[test]
+fn x_slow_decision_cycles_grow_without_bound() {
+    let mut previous = 0u64;
+    for x in [1u64, 4, 16, 64] {
+        let mut s = sim(&[Value::One; 3], 2);
+        let (_, summary) = s.run_policy(&mut UniformDelayPolicy::new(x), 50_000);
+        assert!(summary.all_nonfaulty_decided, "x = {x} did not decide");
+        assert!(summary.agreement_holds());
+        assert!(
+            summary.cycles >= previous,
+            "decision cycles should not shrink as x grows: x = {x}"
+        );
+        previous = summary.cycles;
+    }
+    // And the largest x is far beyond the smallest-x decision time:
+    // no constant bound covers all x.
+    assert!(previous >= 64, "64-slow runs must take at least 64 cycles");
+}
+
+#[test]
+fn valency_explorer_certifies_lemma_15_on_small_instances() {
+    for n in [2usize, 3] {
+        let cfg =
+            CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap();
+        let s = LockstepSim::new(
+            commit_population(cfg, &vec![Value::One; n]),
+            SeedCollection::new(7),
+        )
+        .without_history();
+        let v = classify(
+            &s,
+            ExploreParams {
+                x: 1,
+                branch_depth: 12,
+                horizon_cycles: 2_000,
+            },
+        );
+        assert_eq!(v, Valency::Bivalent, "I_1..1 must be bivalent at n = {n}");
+    }
+}
+
+#[test]
+fn schedule_prefix_and_concatenation_compose_with_replay() {
+    let mut full = sim(&[Value::One; 3], 13);
+    let (schedule, _) = full.run_policy(&mut UniformDelayPolicy::new(1), 40);
+    let head = schedule.prefix_cycles(2);
+    let rest = Schedule::new(3, schedule.turns()[head.len()..].to_vec());
+    let stitched = head.then(&rest);
+    assert_eq!(&stitched, &schedule);
+
+    let mut replay = sim(&[Value::One; 3], 13);
+    replay.run_schedule(&head, 1);
+    replay.run_schedule(&rest, 1);
+    let all: Vec<ProcessorId> = ProcessorId::all(3).collect();
+    assert!(full.observably_equal_for(&replay, &all));
+}
