@@ -1,0 +1,211 @@
+//! The seeded chaos campaign: generate many schedules, execute each on
+//! both substrates, classify every outcome, and shrink any violation
+//! to a minimal reproducer.
+//!
+//! A campaign is identified by a single seed; schedule `i` of campaign
+//! `s` is always the same schedule, so any reported violation can be
+//! regenerated from `(s, i)` alone.
+
+use std::fmt;
+use std::time::Duration;
+
+use rtc_runtime::ClusterOptions;
+
+use crate::outcome::{ChaosOutcome, Substrate};
+use crate::runtime_driver::run_on_runtime;
+use crate::schedule::{ChaosSchedule, ScheduleParams};
+use crate::shrink::shrink_sim_violation;
+use crate::sim_driver::run_on_sim;
+
+/// Configuration of one campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// How many schedules to generate and run.
+    pub schedules: u64,
+    /// The campaign seed; schedule `i` is `ChaosSchedule::generate(params, seed, i)`.
+    pub seed: u64,
+    /// Generator knobs.
+    pub params: ScheduleParams,
+    /// Per-schedule event cap on the simulator.
+    pub sim_max_events: u64,
+    /// Pacing and bounds for the runtime substrate.
+    pub cluster: ClusterOptions,
+    /// Execute schedules on the simulator.
+    pub run_sim: bool,
+    /// Execute schedules on the threaded runtime.
+    pub run_runtime: bool,
+    /// Shrink simulator violations to minimal reproducers.
+    pub shrink_violations: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            schedules: 200,
+            seed: 0xC0A7_1986,
+            params: ScheduleParams::default(),
+            sim_max_events: 400_000,
+            cluster: ClusterOptions {
+                tick: Duration::from_millis(1),
+                max_steps: 400,
+                wall_timeout: Duration::from_secs(2),
+            },
+            run_sim: true,
+            run_runtime: true,
+            shrink_violations: true,
+        }
+    }
+}
+
+/// One safety violation found by a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignViolation {
+    /// Index of the schedule within the campaign.
+    pub index: u64,
+    /// The substrate that produced the violation.
+    pub substrate: Substrate,
+    /// Which condition broke.
+    pub condition: String,
+    /// The full offending schedule.
+    pub schedule: ChaosSchedule,
+    /// A shrunk minimal reproducer, when shrinking was enabled and the
+    /// violation reproduces on the simulator.
+    pub shrunk: Option<ChaosSchedule>,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignSummary {
+    /// Schedules generated.
+    pub schedules: u64,
+    /// Simulator runs that decided.
+    pub sim_decided: u64,
+    /// Simulator runs that stalled gracefully.
+    pub sim_stalled: u64,
+    /// Runtime runs that decided.
+    pub runtime_decided: u64,
+    /// Runtime runs that stalled gracefully.
+    pub runtime_stalled: u64,
+    /// Every safety violation, with reproducers.
+    pub violations: Vec<CampaignViolation>,
+}
+
+impl CampaignSummary {
+    /// Whether the campaign found no safety violation.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total substrate runs executed.
+    pub fn runs(&self) -> u64 {
+        self.sim_decided
+            + self.sim_stalled
+            + self.runtime_decided
+            + self.runtime_stalled
+            + self.violations.len() as u64
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedules: sim {}/{} decided/stalled, runtime {}/{} decided/stalled, {} violations",
+            self.schedules,
+            self.sim_decided,
+            self.sim_stalled,
+            self.runtime_decided,
+            self.runtime_stalled,
+            self.violations.len()
+        )
+    }
+}
+
+fn record(
+    summary: &mut CampaignSummary,
+    cfg: &CampaignConfig,
+    index: u64,
+    schedule: &ChaosSchedule,
+    substrate: Substrate,
+    outcome: ChaosOutcome,
+) {
+    match (substrate, outcome) {
+        (Substrate::Sim, ChaosOutcome::Decided) => summary.sim_decided += 1,
+        (Substrate::Sim, ChaosOutcome::StalledGracefully) => summary.sim_stalled += 1,
+        (Substrate::Runtime, ChaosOutcome::Decided) => summary.runtime_decided += 1,
+        (Substrate::Runtime, ChaosOutcome::StalledGracefully) => summary.runtime_stalled += 1,
+        (_, ChaosOutcome::Violation(condition)) => {
+            let shrunk = cfg
+                .shrink_violations
+                .then(|| shrink_sim_violation(schedule, cfg.sim_max_events));
+            summary.violations.push(CampaignViolation {
+                index,
+                substrate,
+                condition,
+                schedule: schedule.clone(),
+                shrunk,
+            });
+        }
+    }
+}
+
+/// Runs a full campaign and returns the aggregate summary.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    let mut summary = CampaignSummary {
+        schedules: cfg.schedules,
+        ..CampaignSummary::default()
+    };
+    for i in 0..cfg.schedules {
+        let schedule = ChaosSchedule::generate(&cfg.params, cfg.seed, i);
+        if cfg.run_sim {
+            let rep = run_on_sim(&schedule, cfg.sim_max_events);
+            record(&mut summary, cfg, i, &schedule, Substrate::Sim, rep.outcome);
+        }
+        if cfg.run_runtime {
+            let (rep, _) = run_on_runtime(&schedule, cfg.cluster);
+            record(
+                &mut summary,
+                cfg,
+                i,
+                &schedule,
+                Substrate::Runtime,
+                rep.outcome,
+            );
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_over_both_substrates_is_safe() {
+        let cfg = CampaignConfig {
+            schedules: 10,
+            seed: 4242,
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&cfg);
+        assert!(summary.ok(), "violations: {:?}", summary.violations);
+        assert_eq!(summary.runs(), 20);
+        assert!(
+            summary.sim_decided + summary.runtime_decided > 0,
+            "a healthy campaign decides at least sometimes: {summary}"
+        );
+    }
+
+    #[test]
+    fn sim_only_campaign_counts_every_schedule() {
+        let cfg = CampaignConfig {
+            schedules: 30,
+            seed: 7,
+            run_runtime: false,
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&cfg);
+        assert!(summary.ok(), "violations: {:?}", summary.violations);
+        assert_eq!(summary.sim_decided + summary.sim_stalled, 30);
+    }
+}

@@ -1,0 +1,51 @@
+//! Seeded chaos-campaign harness for the Coan–Lundelius commit stack.
+//!
+//! The crates below this one prove properties run by run; this crate
+//! proves them *in bulk and under fire*. A [`ChaosSchedule`] is a
+//! substrate-neutral description of everything that goes wrong in one
+//! commit run — crashes, restarts (from snapshot or amnesiac), delay
+//! spikes, link flaps — generated deterministically from a campaign
+//! seed. Each schedule is executed on **both** substrates:
+//!
+//! * the discrete-event simulator (`rtc-sim`), where a
+//!   [`ChaosAdversary`] realizes the schedule as an admissible
+//!   pattern-only scheduler and restarts become [`rtc_sim::Sim::revive`]
+//!   calls between run segments;
+//! * the threaded runtime (`rtc-runtime`), where the schedule becomes a
+//!   [`rtc_runtime::FaultPlan`] executed by
+//!   [`rtc_runtime::run_cluster_recoverable`] over real threads and
+//!   channels.
+//!
+//! Every run is classified ([`ChaosOutcome`]): it either *decided*
+//! (with all of the paper's Section 2.4 conditions checked), *stalled
+//! gracefully* (no decision but no safety violation — what Theorem 11
+//! permits when more than `t` processors are down), or *violated*
+//! safety, in which case [`shrink_schedule`] reduces the schedule to a
+//! locally minimal reproducer.
+//!
+//! The flagship scenario ([`run_theorem11`]) plays the paper's
+//! Theorem 11 end to end on both substrates: crash `t + 1` processors,
+//! assert a graceful stall, restart them, assert termination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod adversary;
+mod campaign;
+mod outcome;
+mod runtime_driver;
+mod schedule;
+mod shrink;
+mod sim_driver;
+mod theorem11;
+
+pub use adversary::ChaosAdversary;
+pub use campaign::{run_campaign, CampaignConfig, CampaignSummary, CampaignViolation};
+pub use outcome::{classify_verdict, ChaosOutcome, ChaosReport, Substrate};
+pub use runtime_driver::{classify_cluster, run_on_runtime, to_fault_plan};
+pub use schedule::{
+    ChaosCrash, ChaosDelay, ChaosFlap, ChaosRestart, ChaosSchedule, ScheduleParams,
+};
+pub use shrink::{shrink_schedule, shrink_sim_violation};
+pub use sim_driver::run_on_sim;
+pub use theorem11::{run_theorem11, Theorem11Evidence};

@@ -1,0 +1,126 @@
+//! Outcome classification for chaos runs.
+//!
+//! Every schedule execution ends in exactly one of three classes:
+//! *decided* (termination plus all safety conditions), *stalled
+//! gracefully* (no termination — which Theorem 11 permits once more
+//! than `t` processors are down — but no safety condition broken), or
+//! *violation* (a safety condition broke, which no fault schedule may
+//! ever cause).
+
+use std::fmt;
+
+use rtc_core::properties::{CommitVerdict, Condition};
+
+/// Which substrate executed the schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Substrate {
+    /// The discrete-event simulator (`rtc-sim`).
+    Sim,
+    /// The threaded real-time runtime (`rtc-runtime`).
+    Runtime,
+}
+
+impl fmt::Display for Substrate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Substrate::Sim => write!(f, "sim"),
+            Substrate::Runtime => write!(f, "runtime"),
+        }
+    }
+}
+
+/// How one schedule execution ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// Every processor owing a decision decided and all applicable
+    /// safety conditions held.
+    Decided,
+    /// The run ran out of events or wall time without every owed
+    /// decision, but no safety condition was violated — the graceful
+    /// degradation the paper's Theorem 11 promises beyond `t` crashes.
+    StalledGracefully,
+    /// A safety condition broke; the payload names it.
+    Violation(String),
+}
+
+impl ChaosOutcome {
+    /// Whether the run kept all safety conditions (decided or stalled).
+    pub fn is_safe(&self) -> bool {
+        !matches!(self, ChaosOutcome::Violation(_))
+    }
+
+    /// Whether the run terminated with every owed decision.
+    pub fn is_decided(&self) -> bool {
+        matches!(self, ChaosOutcome::Decided)
+    }
+}
+
+impl fmt::Display for ChaosOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosOutcome::Decided => write!(f, "decided"),
+            ChaosOutcome::StalledGracefully => write!(f, "stalled gracefully"),
+            ChaosOutcome::Violation(what) => write!(f, "VIOLATION: {what}"),
+        }
+    }
+}
+
+/// Folds a checker verdict into an outcome.
+pub fn classify_verdict(verdict: &CommitVerdict) -> ChaosOutcome {
+    if verdict.agreement == Condition::Violated {
+        return ChaosOutcome::Violation("agreement".into());
+    }
+    if verdict.abort_validity == Condition::Violated {
+        return ChaosOutcome::Violation("abort validity".into());
+    }
+    if verdict.commit_validity == Condition::Violated {
+        return ChaosOutcome::Violation("commit validity".into());
+    }
+    if verdict.deciding {
+        ChaosOutcome::Decided
+    } else {
+        ChaosOutcome::StalledGracefully
+    }
+}
+
+/// The result of executing one schedule on one substrate.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The substrate that ran the schedule.
+    pub substrate: Substrate,
+    /// The classified outcome.
+    pub outcome: ChaosOutcome,
+    /// The full condition verdict the outcome was folded from.
+    pub verdict: CommitVerdict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(agreement: Condition, deciding: bool) -> CommitVerdict {
+        CommitVerdict {
+            agreement,
+            abort_validity: Condition::NotApplicable,
+            commit_validity: Condition::NotApplicable,
+            deciding,
+            failure_free: false,
+            on_time: false,
+        }
+    }
+
+    #[test]
+    fn classification_covers_all_three_classes() {
+        assert_eq!(
+            classify_verdict(&verdict(Condition::Held, true)),
+            ChaosOutcome::Decided
+        );
+        assert_eq!(
+            classify_verdict(&verdict(Condition::Held, false)),
+            ChaosOutcome::StalledGracefully
+        );
+        let v = classify_verdict(&verdict(Condition::Violated, true));
+        assert!(!v.is_safe());
+        assert!(v.to_string().contains("agreement"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Greedy delta-debugging shrinker for violating schedules.
+//!
+//! Given a schedule on which a predicate holds (normally "this
+//! schedule produces a safety violation on the simulator"), the
+//! shrinker repeatedly tries structure-removing simplifications —
+//! dropping a flap, simplifying the delay regime, dropping a restart,
+//! dropping a crash together with its restart — and keeps any
+//! simplification under which the predicate still holds, until no
+//! single removal preserves it. The result is a locally minimal
+//! reproducer.
+
+use crate::outcome::ChaosOutcome;
+use crate::schedule::{ChaosDelay, ChaosSchedule};
+use crate::sim_driver::run_on_sim;
+
+/// All schedules reachable from `s` by removing one element.
+fn candidates(s: &ChaosSchedule) -> Vec<ChaosSchedule> {
+    let mut out = Vec::new();
+    for i in 0..s.flaps.len() {
+        let mut c = s.clone();
+        c.flaps.remove(i);
+        out.push(c);
+    }
+    if s.delay != ChaosDelay::None {
+        let mut c = s.clone();
+        c.delay = ChaosDelay::None;
+        out.push(c);
+    }
+    for i in 0..s.restarts.len() {
+        let mut c = s.clone();
+        c.restarts.remove(i);
+        out.push(c);
+    }
+    for i in 0..s.crashes.len() {
+        let mut c = s.clone();
+        let victim = c.crashes.remove(i).victim;
+        c.restarts.retain(|r| r.victim != victim);
+        out.push(c);
+    }
+    if !s.early_abort {
+        let mut c = s.clone();
+        c.early_abort = true;
+        out.push(c);
+    }
+    out
+}
+
+/// Shrinks `start` while `fails` keeps holding, returning a locally
+/// minimal schedule on which it still holds.
+///
+/// The predicate is re-evaluated on every candidate, so it should be
+/// deterministic (chaos runs are: a schedule fixes every seed).
+pub fn shrink_schedule<F>(start: &ChaosSchedule, mut fails: F) -> ChaosSchedule
+where
+    F: FnMut(&ChaosSchedule) -> bool,
+{
+    let mut current = start.clone();
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Shrinks a schedule that violates safety on the simulator to a
+/// locally minimal violating schedule. If `start` does not actually
+/// violate (e.g. the violation was runtime-only timing), `start` is
+/// returned unchanged.
+pub fn shrink_sim_violation(start: &ChaosSchedule, max_events: u64) -> ChaosSchedule {
+    let violates = |s: &ChaosSchedule| {
+        matches!(
+            run_on_sim(s, max_events).outcome,
+            ChaosOutcome::Violation(_)
+        )
+    };
+    if !violates(start) {
+        return start.clone();
+    }
+    shrink_schedule(start, violates)
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_model::ProcessorId;
+
+    use super::*;
+    use crate::schedule::ScheduleParams;
+
+    #[test]
+    fn shrinks_to_a_minimal_reproducer_for_a_synthetic_predicate() {
+        // Find a busy generated schedule and pretend the "bug" needs
+        // only one specific ingredient: some crash of processor p.
+        let params = ScheduleParams::default();
+        let start = (0..200)
+            .map(|i| ChaosSchedule::generate(&params, 77, i))
+            .find(|s| !s.crashes.is_empty() && (!s.flaps.is_empty() || s.delay != ChaosDelay::None))
+            .expect("the campaign generates busy schedules");
+        let p: ProcessorId = start.crashes[0].victim;
+        let fails = |s: &ChaosSchedule| s.crashes.iter().any(|c| c.victim == p);
+
+        let min = shrink_schedule(&start, fails);
+        assert!(fails(&min), "shrinking must preserve the predicate");
+        assert_eq!(min.crashes.len(), 1, "only the needed crash survives");
+        assert_eq!(min.crashes[0].victim, p);
+        assert!(min.flaps.is_empty());
+        assert!(min.restarts.is_empty());
+        assert_eq!(min.delay, ChaosDelay::None);
+    }
+
+    #[test]
+    fn non_violating_schedule_is_returned_unchanged() {
+        let s = ChaosSchedule::generate(&ScheduleParams::default(), 3, 0);
+        assert_eq!(shrink_sim_violation(&s, 300_000), s);
+    }
+}

@@ -1,0 +1,195 @@
+//! Executes a [`ChaosSchedule`] on the discrete-event simulator.
+//!
+//! Crashes and network misbehaviour are realized by a
+//! [`ChaosAdversary`]; restarts are realized by running the simulation
+//! in segments and calling [`rtc_sim::Sim::revive`] at each restart's
+//! due event. A `from_snapshot` restart restores the victim's
+//! crash-time state (preserved inside the engine) — sound, because a
+//! crashed automaton sent nothing after that state. An amnesiac
+//! restart restores the victim's *initial* state via
+//! [`rtc_model::Recoverable::restore_amnesiac`], which rejoins it as a
+//! non-participating observer that pings peers for the decision.
+
+use rtc_core::properties::verify_commit_run;
+use rtc_core::{commit_population, CommitAutomaton, CommitConfig};
+use rtc_model::{Recoverable, SeedCollection, TimingParams};
+use rtc_sim::{RunLimits, SimBuilder};
+
+use crate::adversary::ChaosAdversary;
+use crate::outcome::{classify_verdict, ChaosReport, Substrate};
+use crate::schedule::{ChaosRestart, ChaosSchedule};
+
+/// Runs `schedule` on the simulator with a hard cap of `max_events`
+/// scheduler events, classifying the outcome.
+///
+/// # Panics
+///
+/// Panics if the schedule's population/fault-bound combination is
+/// rejected by [`CommitConfig`] — generated schedules never are.
+pub fn run_on_sim(schedule: &ChaosSchedule, max_events: u64) -> ChaosReport {
+    let cfg = CommitConfig::new(schedule.n, schedule.t, TimingParams::default())
+        .expect("schedule population accepts its fault bound")
+        .with_early_abort(schedule.early_abort);
+    let mut sim = SimBuilder::new(cfg.timing(), SeedCollection::new(schedule.seed))
+        // Degraded schedules intentionally exceed t; give the engine
+        // the budget to execute them (admissibility of the *plan* is
+        // tracked by `ChaosSchedule::degraded`).
+        .fault_budget(schedule.crashes.len().max(schedule.t))
+        .build(commit_population(cfg, &schedule.votes))
+        .expect("population matches config");
+
+    let mut adv = ChaosAdversary::new(schedule);
+    let n = schedule.n as u64;
+    // A restart becomes due a fixed number of abstract steps after its
+    // crash trigger; one step is one round-robin rotation of n events.
+    let mut pending: Vec<(ChaosRestart, u64)> = schedule
+        .restarts
+        .iter()
+        .map(|r| {
+            let crash_step = schedule.crash_of(r.victim).map(|c| c.at_step).unwrap_or(0);
+            (r.clone(), (crash_step + r.delay_steps) * n)
+        })
+        .collect();
+
+    let report = loop {
+        pending.sort_by_key(|(_, due)| *due);
+        let segment_cap = pending
+            .first()
+            .map_or(max_events, |(_, due)| (*due).min(max_events))
+            .max(1);
+        let rep = sim
+            .run(&mut adv, RunLimits::with_max_events(segment_cap))
+            .expect("chaos adversary stays within the model");
+        if !rep.stalled() || segment_cap >= max_events {
+            break rep;
+        }
+        let event = rep.events();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].1 > event {
+                i += 1;
+            } else if rep.is_faulty(pending[i].0.victim) {
+                let (r, _) = pending.remove(i);
+                let auto = if r.from_snapshot {
+                    CommitAutomaton::restore(&sim.automaton(r.victim).snapshot())
+                } else {
+                    let fresh =
+                        CommitAutomaton::new(cfg, r.victim, schedule.votes[r.victim.index()]);
+                    CommitAutomaton::restore_amnesiac(&fresh.snapshot())
+                };
+                sim.revive(r.victim, auto)
+                    .expect("victim is crashed at its restart");
+            } else {
+                // The crash trigger has not fired yet (the victim's
+                // clock lags the abstract-step estimate); retry after
+                // a couple more rotations, or drop the restart if the
+                // cap arrives first.
+                pending[i].1 = event + 2 * n;
+                if pending[i].1 >= max_events {
+                    pending.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    };
+
+    let verdict = verify_commit_run(&schedule.votes, &report, sim.trace(), cfg.timing());
+    ChaosReport {
+        substrate: Substrate::Sim,
+        outcome: classify_verdict(&verdict),
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_model::ProcessorId;
+    use rtc_model::Value;
+
+    use super::*;
+    use crate::outcome::ChaosOutcome;
+    use crate::schedule::{ChaosCrash, ChaosDelay, ScheduleParams};
+
+    fn plain(n: usize, seed: u64) -> ChaosSchedule {
+        ChaosSchedule {
+            seed,
+            n,
+            t: CommitConfig::max_tolerated(n),
+            votes: vec![Value::One; n],
+            early_abort: true,
+            delay: ChaosDelay::None,
+            crashes: Vec::new(),
+            restarts: Vec::new(),
+            flaps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn faultfree_schedule_decides_cleanly() {
+        let rep = run_on_sim(&plain(4, 11), 200_000);
+        assert_eq!(rep.outcome, ChaosOutcome::Decided);
+        assert!(rep.verdict.failure_free);
+    }
+
+    #[test]
+    fn tolerated_crash_with_snapshot_restart_decides() {
+        let mut s = plain(4, 12);
+        s.crashes.push(ChaosCrash {
+            victim: ProcessorId::new(2),
+            at_step: 3,
+            drop_final_sends: true,
+        });
+        s.restarts.push(ChaosRestart {
+            victim: ProcessorId::new(2),
+            delay_steps: 10,
+            from_snapshot: true,
+        });
+        let rep = run_on_sim(&s, 200_000);
+        assert_eq!(rep.outcome, ChaosOutcome::Decided);
+    }
+
+    #[test]
+    fn amnesiac_restart_catches_up_by_observation() {
+        let mut s = plain(3, 13);
+        s.crashes.push(ChaosCrash {
+            victim: ProcessorId::new(1),
+            at_step: 2,
+            drop_final_sends: false,
+        });
+        s.restarts.push(ChaosRestart {
+            victim: ProcessorId::new(1),
+            delay_steps: 8,
+            from_snapshot: false,
+        });
+        let rep = run_on_sim(&s, 200_000);
+        // The observer must adopt the survivors' decision: the run is
+        // deciding (the revived processor owes a decision again) and
+        // agreement holds.
+        assert_eq!(rep.outcome, ChaosOutcome::Decided);
+    }
+
+    #[test]
+    fn theorem11_stall_is_graceful_and_recovery_terminates() {
+        let stall = run_on_sim(&ChaosSchedule::theorem11(3, 5, false), 40_000);
+        assert_eq!(stall.outcome, ChaosOutcome::StalledGracefully);
+        assert!(stall.verdict.agreement.ok());
+
+        let recover = run_on_sim(&ChaosSchedule::theorem11(3, 5, true), 400_000);
+        assert_eq!(recover.outcome, ChaosOutcome::Decided);
+    }
+
+    #[test]
+    fn generated_batch_is_safe_on_sim() {
+        let params = ScheduleParams::default();
+        for i in 0..25 {
+            let s = ChaosSchedule::generate(&params, 99, i);
+            let rep = run_on_sim(&s, 400_000);
+            assert!(
+                rep.outcome.is_safe(),
+                "schedule {i} violated safety: {} ({s:?})",
+                rep.outcome
+            );
+        }
+    }
+}

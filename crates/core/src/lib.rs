@@ -56,4 +56,6 @@ mod protocol2;
 pub use coins::CoinList;
 pub use config::CommitConfig;
 pub use protocol1::{Agreement, AgreementAutomaton, AgreementMsg};
-pub use protocol2::{commit_population, decisions_of, CommitAutomaton, CommitKind, CommitMsg};
+pub use protocol2::{
+    commit_population, decisions_of, CommitAutomaton, CommitKind, CommitMsg, CommitSnapshot,
+};

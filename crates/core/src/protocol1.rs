@@ -261,6 +261,32 @@ impl Agreement {
         out
     }
 
+    /// The messages this machine has already broadcast for its current
+    /// (and still-boarded previous) stage, for re-transmission after a
+    /// crash–restart: the crash may have dropped the original sends,
+    /// leaving peers one message short of a quorum forever. Receivers
+    /// deduplicate by sender, so re-sending is idempotent.
+    pub fn resend_current(&self) -> Vec<AgreementMsg> {
+        if !self.started || self.halted {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for stage in [self.stage.saturating_sub(1), self.stage] {
+            if stage == 0 {
+                continue;
+            }
+            if let Some(board) = self.boards.get(&stage) {
+                if let Some(v) = board.first.get(&self.id) {
+                    out.push(AgreementMsg::First { stage, value: *v });
+                }
+                if let Some(v) = board.second.get(&self.id) {
+                    out.push(AgreementMsg::Second { stage, value: *v });
+                }
+            }
+        }
+        out
+    }
+
     /// The decided value and the stage at which the decision happened.
     pub fn decision(&self) -> Option<(Value, u64)> {
         self.decided

@@ -22,10 +22,12 @@
 //!   votes, so every input to Protocol 1 is 0 and — by Protocol 1's
 //!   validity — the common decision is already fixed at abort.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
-use rtc_model::{Automaton, Decision, Delivery, ProcessorId, Send, Status, StepRng, Value};
+use rtc_model::{
+    Automaton, Decision, Delivery, ProcessorId, Recoverable, Send, Status, StepRng, Value,
+};
 
 use crate::coins::CoinList;
 use crate::config::CommitConfig;
@@ -41,9 +43,17 @@ pub enum CommitKind {
     Vote(Value),
     /// A Protocol 1 message.
     Agree(AgreementMsg),
-    /// A decision notification (sent only when the
-    /// [`CommitConfig::with_decision_broadcast`] extension is on).
+    /// A decision notification. Broadcast when the
+    /// [`CommitConfig::with_decision_broadcast`] extension is on, and
+    /// sent directly (extension or not) as the reply to a [`CommitKind::Ping`] —
+    /// the "decide-then-return" flood made explicit: re-telling a
+    /// final, unique decision is always safe.
     Decided(Value),
+    /// A catch-up probe from a recovered or lagging processor: "has
+    /// anyone decided?". Peers that have decided — even ones that have
+    /// returned from Protocol 1 and fallen silent — reply with a direct
+    /// [`CommitKind::Decided`].
+    Ping,
 }
 
 /// A Protocol 2 message: the payloads a processor emits at one step
@@ -119,6 +129,22 @@ pub struct CommitAutomaton {
     /// decision from one (and is therefore silent).
     decision_sent: bool,
     adopted: bool,
+    /// Crash–recovery state: a restored automaton re-broadcasts its
+    /// current protocol messages once (the crash may have dropped the
+    /// originals) and pings peers for a decision it may have missed
+    /// until it has one.
+    rejoining: bool,
+    rejoin_resent: bool,
+    last_ping: Option<u64>,
+    /// Restored from a snapshot older than the crash (amnesiac): the
+    /// lost incarnation may have sent messages this state cannot
+    /// re-derive, so re-running the protocol could equivocate. An
+    /// observer never advances the protocol; it only catches up.
+    observer: bool,
+    /// Peers whose `Ping` arrived this step; answered with a direct
+    /// `Decided` if this processor has decided. BTreeSet for a
+    /// deterministic reply order.
+    pingers: BTreeSet<ProcessorId>,
 }
 
 impl CommitAutomaton {
@@ -149,7 +175,25 @@ impl CommitAutomaton {
             agreement_input: None,
             decision_sent: false,
             adopted: false,
+            rejoining: false,
+            rejoin_resent: false,
+            last_ping: None,
+            observer: false,
+            pingers: BTreeSet::new(),
         }
+    }
+
+    /// Whether this automaton is a restored rejoiner still catching up
+    /// (clears once it holds a decision).
+    pub fn rejoining(&self) -> bool {
+        self.rejoining
+    }
+
+    /// Whether this automaton is an amnesiac observer: restored from a
+    /// snapshot that predates its crash, so it never drives the
+    /// protocol itself (see [`Recoverable::restore_amnesiac`]).
+    pub fn is_observer(&self) -> bool {
+        self.observer
     }
 
     /// The processor's initial vote.
@@ -207,21 +251,46 @@ impl CommitAutomaton {
                     None => self.pending_agree.push((d.from, *am)),
                 },
                 CommitKind::Decided(v) => {
-                    // Extension: adopt the (final, unique) decision. A
-                    // processor that already decided on its own may also
-                    // fall silent now — the decision is being gossiped,
-                    // so everyone is guaranteed to learn it without any
-                    // further Protocol 1 traffic.
-                    debug_assert!(
-                        self.cfg.decision_broadcast(),
-                        "Decided without the extension"
-                    );
+                    // Adopt the (final, unique) decision. Arrives either
+                    // from the decision-broadcast extension or as a
+                    // direct reply to a `Ping`; in both cases a processor
+                    // that already decided on its own may also fall
+                    // silent now — the decision is being told to it, so
+                    // no further Protocol 1 traffic of its own is needed.
                     let prior = *self.decided.get_or_insert(*v);
-                    debug_assert_eq!(prior, *v, "conflicting Decided broadcasts");
+                    debug_assert_eq!(prior, *v, "conflicting Decided messages");
                     self.adopted = true;
+                }
+                CommitKind::Ping => {
+                    if d.from != self.id {
+                        self.pingers.insert(d.from);
+                    }
                 }
             }
         }
+    }
+
+    /// The protocol messages this processor has already broadcast for
+    /// its current position, re-emitted once after a restart: the crash
+    /// may have dropped the originals mid-broadcast, leaving peers one
+    /// message short of a quorum forever. All receivers deduplicate by
+    /// sender, so re-sending is idempotent.
+    fn rejoin_kinds(&self) -> Vec<CommitKind> {
+        let mut out = Vec::new();
+        if self.coins.is_some() && self.phase != CommitPhase::AwaitGo {
+            out.push(CommitKind::Go);
+        }
+        if matches!(self.phase, CommitPhase::AwaitVotes | CommitPhase::Agreeing) {
+            if let Some(v) = self.votes.get(&self.id) {
+                out.push(CommitKind::Vote(*v));
+            }
+        }
+        if let Some(agreement) = &self.agreement {
+            for m in agreement.resend_current() {
+                out.push(CommitKind::Agree(m));
+            }
+        }
+        out
     }
 
     fn timed_out(&self, start: Option<u64>) -> bool {
@@ -337,7 +406,10 @@ impl Automaton for CommitAutomaton {
         }
         // A processor that adopted a broadcast decision no longer runs
         // the protocol (it is silent except for its own one-shot relay).
-        let mut kinds = if self.adopted {
+        // An amnesiac observer never ran it in the first place: the
+        // protocol messages of its lost incarnation cannot be re-derived
+        // from its state, so re-participating could equivocate.
+        let mut kinds = if self.adopted || self.observer {
             Vec::new()
         } else {
             self.advance(rng)
@@ -350,14 +422,44 @@ impl Automaton for CommitAutomaton {
                 self.decision_sent = true;
             }
         }
-        if kinds.is_empty() && self.agreement.as_ref().is_some_and(Agreement::halted) {
-            // Returned from Protocol 1 with nothing left to say: silent.
-            // (The broadcasts produced in the very step the return fires
-            // are still sent — discarding them could starve a straggler
-            // of its last quorum message.)
-            return Vec::new();
+        // Crash–recovery: a restored automaton re-broadcasts its current
+        // protocol position once, and pings for a missed decision every
+        // vote-timeout window until it holds one.
+        if self.rejoining {
+            if self.decided.is_some() {
+                self.rejoining = false;
+            } else {
+                if !self.rejoin_resent {
+                    self.rejoin_resent = true;
+                    for k in self.rejoin_kinds() {
+                        if !kinds.contains(&k) {
+                            kinds.push(k);
+                        }
+                    }
+                }
+                let ping_due = self.last_ping.is_none_or(|at| {
+                    self.clock.saturating_sub(at) >= self.cfg.timing().vote_timeout()
+                });
+                if ping_due {
+                    self.last_ping = Some(self.clock);
+                    kinds.push(CommitKind::Ping);
+                }
+            }
         }
-        if kinds.is_empty() {
+        // Direct catch-up replies: a pinged processor that has decided
+        // re-tells the decision to the pinger alone — even after it has
+        // returned from Protocol 1 and fallen silent, which is exactly
+        // when the rejoiner has no other way to learn the outcome.
+        let mut replies = std::mem::take(&mut self.pingers);
+        if self.decided.is_none() {
+            replies.clear();
+        }
+        if kinds.is_empty() && replies.is_empty() {
+            // Nothing to broadcast and nobody to catch up: silent (this
+            // covers the returned-from-Protocol-1 quiescence; broadcasts
+            // produced in the very step the return fires are still sent —
+            // discarding them could starve a straggler of its last
+            // quorum message).
             return Vec::new();
         }
         // The paper piggybacks GO on every message; the ablation switch
@@ -367,17 +469,31 @@ impl Automaton for CommitAutomaton {
         } else {
             None
         };
+        let decided = self.decided;
         let n = self.cfg.population();
         ProcessorId::all(n)
             .filter(|q| *q != self.id)
-            .map(|q| {
-                Send::new(
+            .filter_map(|q| {
+                // At most one message per destination per step: the
+                // pinger's catch-up reply rides the broadcast bundle.
+                let mut dest_kinds = kinds.clone();
+                if replies.contains(&q) {
+                    if let Some(v) = decided {
+                        if !dest_kinds.contains(&CommitKind::Decided(v)) {
+                            dest_kinds.push(CommitKind::Decided(v));
+                        }
+                    }
+                }
+                if dest_kinds.is_empty() {
+                    return None;
+                }
+                Some(Send::new(
                     q,
                     CommitMsg {
                         go: go.clone(),
-                        kinds: kinds.clone(),
+                        kinds: dest_kinds,
                     },
-                )
+                ))
             })
             .collect()
     }
@@ -395,6 +511,50 @@ impl Automaton for CommitAutomaton {
                 }
             }
         }
+    }
+}
+
+/// The persisted state of a [`CommitAutomaton`] — everything needed to
+/// resume the protocol after a crash (conceptually, the processor's
+/// stable storage).
+#[derive(Clone)]
+pub struct CommitSnapshot {
+    state: CommitAutomaton,
+}
+
+impl fmt::Debug for CommitSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommitSnapshot")
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl Recoverable for CommitAutomaton {
+    type Snapshot = CommitSnapshot;
+
+    fn snapshot(&self) -> CommitSnapshot {
+        CommitSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    fn restore(snapshot: &CommitSnapshot) -> CommitAutomaton {
+        let mut auto = snapshot.state.clone();
+        auto.rejoining = true;
+        auto.rejoin_resent = false;
+        auto.last_ping = None;
+        auto.pingers.clear();
+        auto
+    }
+
+    fn restore_amnesiac(snapshot: &CommitSnapshot) -> CommitAutomaton {
+        // The protocol messages already sent are not a function of this
+        // snapshot, so the rejoiner comes back as a pure observer: it
+        // never advances the protocol, only pings for the decision.
+        let mut auto = CommitAutomaton::restore(snapshot);
+        auto.observer = true;
+        auto
     }
 }
 
@@ -620,6 +780,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pinged_halted_processor_replies_decided_directly() {
+        use rtc_model::{LocalClock, Recoverable};
+
+        // Run a 3-population to the fully-halted end state.
+        let c = cfg(3, 1);
+        let procs = commit_population(c, &[Value::One; 3]);
+        let mut sim = SimBuilder::new(c.timing(), SeedCollection::new(8))
+            .fault_budget(c.fault_bound())
+            .build(procs)
+            .unwrap();
+        let limits = rtc_sim::RunLimits {
+            max_events: 100_000,
+            stop: rtc_sim::StopWhen::AllNonfaultyHalted,
+        };
+        let report = sim.run(&mut SynchronousAdversary::new(3), limits).unwrap();
+        assert!(!report.stalled());
+
+        // An amnesiac restart of p1: restored from its initial state, it
+        // knows nothing and must recover the outcome by pinging.
+        let fresh = CommitAutomaton::new(c, ProcessorId::new(1), Value::One);
+        let mut rejoiner = CommitAutomaton::restore_amnesiac(&fresh.snapshot());
+        assert!(rejoiner.rejoining());
+        assert!(rejoiner.is_observer());
+        let mut rng = SeedCollection::new(9).step_rng(ProcessorId::new(1), LocalClock::new(0));
+        let sends = rejoiner.step(&[], &mut rng);
+        assert!(
+            sends
+                .iter()
+                .all(|s| s.msg.kinds.contains(&CommitKind::Ping)),
+            "a decision-less rejoiner pings: {sends:?}"
+        );
+
+        // A halted peer — silent for every other purpose — answers the
+        // ping with a direct Decided to the pinger alone.
+        let mut peer = sim.automaton(ProcessorId::COORDINATOR).clone();
+        assert_eq!(peer.status(), Status::Halted(Value::One));
+        let ping = sends
+            .iter()
+            .find(|s| s.to == ProcessorId::COORDINATOR)
+            .expect("ping reaches the coordinator")
+            .msg
+            .clone();
+        let mut rng0 =
+            SeedCollection::new(9).step_rng(ProcessorId::COORDINATOR, LocalClock::new(1));
+        let replies = peer.step(&[Delivery::new(ProcessorId::new(1), ping)], &mut rng0);
+        assert_eq!(replies.len(), 1, "reply goes to the pinger alone");
+        assert_eq!(replies[0].to, ProcessorId::new(1));
+        assert!(replies[0]
+            .msg
+            .kinds
+            .contains(&CommitKind::Decided(Value::One)));
+
+        // The rejoiner adopts the decision and stops rejoining.
+        let mut rng1 = SeedCollection::new(9).step_rng(ProcessorId::new(1), LocalClock::new(2));
+        rejoiner.step(
+            &[Delivery::new(
+                ProcessorId::COORDINATOR,
+                replies[0].msg.clone(),
+            )],
+            &mut rng1,
+        );
+        assert_eq!(rejoiner.status().value(), Some(Value::One));
+        let mut rng2 = SeedCollection::new(9).step_rng(ProcessorId::new(1), LocalClock::new(3));
+        rejoiner.step(&[], &mut rng2);
+        assert!(!rejoiner.rejoining());
+    }
+
+    #[test]
+    fn amnesiac_coordinator_does_not_restart_the_protocol() {
+        use rtc_model::{LocalClock, Recoverable};
+
+        // A participating coordinator's first step flips the coins and
+        // broadcasts GO; an amnesiac observer must not — its lost
+        // incarnation may already have flooded a *different* coin list,
+        // and a second one would fork the shared randomness.
+        let c = cfg(3, 1);
+        let fresh = CommitAutomaton::new(c, ProcessorId::COORDINATOR, Value::One);
+        let mut observer = CommitAutomaton::restore_amnesiac(&fresh.snapshot());
+        assert!(observer.is_observer());
+        let mut rng = SeedCollection::new(4).step_rng(ProcessorId::COORDINATOR, LocalClock::new(0));
+        let sends = observer.step(&[], &mut rng);
+        assert!(!sends.is_empty(), "the observer still pings");
+        for s in &sends {
+            assert!(s.msg.go.is_none(), "no coins may be flooded: {s:?}");
+            assert_eq!(s.msg.kinds, vec![CommitKind::Ping], "ping only: {s:?}");
+        }
+        assert!(!observer.has_coins());
+    }
+
+    #[test]
+    fn snapshot_restore_is_behavior_preserving() {
+        use rtc_model::Recoverable;
+
+        // A mid-protocol snapshot restores to the same observable state.
+        let c = cfg(3, 1);
+        let auto = CommitAutomaton::new(c, ProcessorId::new(2), Value::One);
+        let restored = CommitAutomaton::restore(&auto.snapshot());
+        assert_eq!(restored.id(), auto.id());
+        assert_eq!(restored.status(), auto.status());
+        assert_eq!(restored.vote(), auto.vote());
+        assert_eq!(restored.initial_vote(), auto.initial_vote());
     }
 
     #[test]

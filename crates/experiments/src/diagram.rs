@@ -56,6 +56,10 @@ pub fn render(trace: &Trace, opts: DiagramOptions) -> String {
                 cells[p.index()].push('X');
                 note = format!("{p} crashed");
             }
+            EventRecord::Revive { p } => {
+                cells[p.index()].push('R');
+                note = format!("{p} revived");
+            }
             EventRecord::Step {
                 p, delivered, sent, ..
             } => {

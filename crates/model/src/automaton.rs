@@ -113,6 +113,59 @@ pub trait Automaton {
     fn status(&self) -> Status;
 }
 
+/// An automaton that can persist its state and be rebuilt from it —
+/// the hook the crash–recovery layer drives.
+///
+/// The paper's fault model is fail-stop: a crashed processor never
+/// acts again. Recovery extends the model conservatively: a restarted
+/// processor re-enters as a *correct observer* built from a snapshot
+/// (its stable storage at crash time, or its initial state for an
+/// amnesiac rejoin). Safety is unaffected — decisions are irrevocable
+/// and a rejoiner only catches up on values others already fixed — so
+/// the restart maps onto the paper's model as "one more correct
+/// processor that was merely slow".
+///
+/// Contract: `restore(&a.snapshot())` must behave identically to `a`
+/// for every observable purpose (status, future steps given the same
+/// deliveries and randomness), and taking a snapshot must not perturb
+/// the automaton.
+pub trait Recoverable: Automaton {
+    /// The persisted form of the state.
+    type Snapshot: Clone + fmt::Debug + std::marker::Send + 'static;
+
+    /// Captures the current state. Must not mutate `self`.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Rebuilds an automaton from a snapshot, marked as rejoining so it
+    /// can ask peers for any decision it missed.
+    ///
+    /// Sound only when the crashed incarnation sent **no messages after
+    /// the snapshot was taken** (a crash-time snapshot): the restored
+    /// automaton then resumes deterministically and can never
+    /// contradict anything already on the wire. For snapshots older
+    /// than the crash, use [`Recoverable::restore_amnesiac`].
+    fn restore(snapshot: &Self::Snapshot) -> Self;
+
+    /// Rebuilds an automaton from a snapshot that may predate messages
+    /// the crashed incarnation already sent (e.g. its initial state).
+    ///
+    /// Replaying the protocol from such a snapshot could *equivocate*:
+    /// re-derived messages drawn with fresh randomness may contradict
+    /// the lost originals, which the crash-fault proofs do not cover.
+    /// Implementations whose sends are not a deterministic function of
+    /// the snapshot must therefore come back as non-participating
+    /// observers that only catch up on decisions from peers. The
+    /// default defers to [`Recoverable::restore`], which is correct
+    /// only when the snapshot itself is the complete durable state
+    /// (nothing sent is ever lost, as with a write-ahead log).
+    fn restore_amnesiac(snapshot: &Self::Snapshot) -> Self
+    where
+        Self: Sized,
+    {
+        Self::restore(snapshot)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,7 +40,7 @@ mod ids;
 mod rng;
 mod value;
 
-pub use automaton::{Automaton, Delivery, Send, Status};
+pub use automaton::{Automaton, Delivery, Recoverable, Send, Status};
 pub use clock::{LocalClock, TimingParams};
 pub use error::ModelError;
 pub use ids::ProcessorId;

@@ -53,8 +53,15 @@ pub struct ClusterReport {
     pub steps: Vec<u64>,
     /// Which processors were crashed by the fault plan.
     pub crashed: Vec<bool>,
+    /// Which processors were restarted after a crash (always all-false
+    /// for [`run_cluster`]; see `run_cluster_recoverable`).
+    pub recovered: Vec<bool>,
     /// Total messages sent.
     pub messages_sent: u64,
+    /// Messages still held by the delayer (delay spikes or link-outage
+    /// buffering) when the run ended — traffic whose hold outlived the
+    /// run instead of being silently dropped.
+    pub messages_undelivered: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// Whether the run ended by decision (vs timeout).
@@ -67,12 +74,14 @@ pub struct ClusterReport {
 }
 
 impl ClusterReport {
-    /// Whether every non-crashed processor decided.
+    /// Whether every non-crashed processor decided. A processor that
+    /// crashed but was later restarted counts as non-crashed: once it
+    /// rejoins, it owes a decision like everyone else.
     pub fn all_nonfaulty_decided(&self) -> bool {
         self.statuses
             .iter()
-            .zip(&self.crashed)
-            .all(|(s, crashed)| *crashed || s.is_decided())
+            .zip(self.crashed.iter().zip(&self.recovered))
+            .all(|(s, (crashed, recovered))| (*crashed && !recovered) || s.is_decided())
     }
 
     /// How many messages arrived more than `k` ticks after they were
@@ -90,17 +99,17 @@ impl ClusterReport {
     }
 }
 
-struct Envelope<M> {
-    from: ProcessorId,
-    sent_at_tick: u64,
-    msg: M,
+pub(crate) struct Envelope<M> {
+    pub(crate) from: ProcessorId,
+    pub(crate) sent_at_tick: u64,
+    pub(crate) msg: M,
 }
 
-struct Delayed<M> {
-    due: Instant,
-    seq: u64,
-    to: usize,
-    env: Envelope<M>,
+pub(crate) struct Delayed<M> {
+    pub(crate) due: Instant,
+    pub(crate) seq: u64,
+    pub(crate) to: usize,
+    pub(crate) env: Envelope<M>,
 }
 
 impl<M> PartialEq for Delayed<M> {
@@ -178,21 +187,28 @@ where
         .map(|i| faults.crash_step(ProcessorId::new(i)).is_some())
         .collect();
 
-    // The delayer thread.
+    // The delayer thread. Returns how many held messages (delay spikes
+    // or link-outage buffering) were still undelivered when the run
+    // ended, so they are accounted for instead of silently dropped.
     let delayer = {
         let done = Arc::clone(&done);
         let inbox_tx = inbox_tx.clone();
-        thread::spawn(move || {
+        thread::spawn(move || -> u64 {
             let mut heap: BinaryHeap<Delayed<A::Msg>> = BinaryHeap::new();
+            let mut disconnected = false;
             loop {
-                let timeout = heap
-                    .peek()
-                    .map(|d| d.due.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(5));
-                match delay_rx.recv_timeout(timeout) {
-                    Ok(d) => heap.push(d),
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
+                if !disconnected {
+                    let timeout = heap
+                        .peek()
+                        .map(|d| d.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(5));
+                    match delay_rx.recv_timeout(timeout) {
+                        Ok(d) => heap.push(d),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        // All senders gone: no new holds can arrive, but
+                        // messages already held must still be counted.
+                        Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                    }
                 }
                 let now = Instant::now();
                 while heap.peek().is_some_and(|d| d.due <= now) {
@@ -200,8 +216,13 @@ where
                     // A send can fail only during teardown.
                     let _ = inbox_tx[d.to].send(d.env);
                 }
-                if done.load(Ordering::Relaxed) && heap.is_empty() {
-                    break;
+                if (done.load(Ordering::Relaxed) || disconnected) && !heap.is_empty() {
+                    // The run is over; whatever is still held would
+                    // arrive after every node stopped listening.
+                    return heap.len() as u64;
+                }
+                if (done.load(Ordering::Relaxed) || disconnected) && heap.is_empty() {
+                    return 0;
                 }
             }
         })
@@ -306,7 +327,7 @@ where
     for h in handles {
         let _ = h.join();
     }
-    let _ = delayer.join();
+    let messages_undelivered = delayer.join().unwrap_or(0);
 
     let final_statuses = statuses.lock().clone();
     let final_steps = steps.lock().clone();
@@ -315,7 +336,9 @@ where
         statuses: final_statuses,
         steps: final_steps,
         crashed,
+        recovered: vec![false; n],
         messages_sent: messages.load(Ordering::Relaxed),
+        messages_undelivered,
         wall: start.elapsed(),
         decided_in_time,
         link_delays: final_delays,
@@ -445,6 +468,32 @@ mod tests {
         assert!(
             report.decided_in_time,
             "outage must not block the cluster: {report:?}"
+        );
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn outage_past_run_end_is_counted_not_dropped() {
+        // The link cut lasts far beyond the run, so traffic buffered on
+        // it can never arrive; the report must account for it instead
+        // of silently dropping it.
+        let c = cfg(3);
+        let mut o = opts();
+        o.wall_timeout = Duration::from_millis(500);
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(31),
+            FaultPlan::none().with_link_outage(
+                ProcessorId::COORDINATOR,
+                ProcessorId::new(1),
+                Duration::ZERO,
+                Duration::from_secs(600),
+            ),
+            o,
+        );
+        assert!(
+            report.messages_undelivered > 0,
+            "held messages must be counted: {report:?}"
         );
         assert!(report.agreement_holds());
     }

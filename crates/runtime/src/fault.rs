@@ -38,12 +38,15 @@ impl DelayModel {
                 if max <= min {
                     min
                 } else {
-                    let span = (max - min).as_nanos() as u64;
+                    // Saturate rather than truncate: a span over ~584
+                    // years of nanoseconds would otherwise wrap to a
+                    // small value and silently shrink the delay.
+                    let span = u64::try_from((max - min).as_nanos()).unwrap_or(u64::MAX);
                     min + Duration::from_nanos(rng.gen_range(0..=span))
                 }
             }
             DelayModel::Spike { permille, spike } => {
-                if rng.gen_range(0..1000) < permille {
+                if rng.gen_range(0..1000u32) < permille {
                     spike
                 } else {
                     Duration::ZERO
@@ -89,23 +92,96 @@ impl LinkOutage {
     }
 }
 
+/// A scripted restart: at offset `at` from cluster start, a crashed
+/// processor's thread is respawned — either from the snapshot captured
+/// at its crash (modelling stable storage surviving the fault) or from
+/// its initial state (an amnesiac rejoin, safe only because decisions
+/// are caught up from peers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartAt {
+    /// The processor to revive; it must have a scripted crash.
+    pub victim: ProcessorId,
+    /// When the thread is respawned, relative to cluster start.
+    pub at: Duration,
+    /// Restore from the crash-time snapshot (`true`) or restart from
+    /// the automaton's initial state (`false`).
+    pub from_snapshot: bool,
+}
+
+/// Why a [`FaultPlan`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// Two `CrashAt` entries target the same victim.
+    DuplicateCrash(ProcessorId),
+    /// The plan crashes more processors than the fault bound `t`
+    /// without being marked [`FaultPlan::degraded`]. Mirrors the sim's
+    /// `admissible = false` convention: such runs are legal to execute
+    /// but their liveness guarantees are void.
+    ExceedsFaultBound {
+        /// Distinct crash victims in the plan.
+        crashed: usize,
+        /// The fault bound the plan was validated against.
+        bound: usize,
+    },
+    /// A `RestartAt` targets a processor with no scripted crash.
+    RestartWithoutCrash(ProcessorId),
+    /// Two `RestartAt` entries target the same victim.
+    DuplicateRestart(ProcessorId),
+    /// A victim is outside the population `0..n`.
+    UnknownProcessor(ProcessorId),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::DuplicateCrash(p) => {
+                write!(f, "duplicate CrashAt entries for processor {p:?}")
+            }
+            FaultPlanError::ExceedsFaultBound { crashed, bound } => write!(
+                f,
+                "plan crashes {crashed} processors, over the fault bound t={bound}; \
+                 mark the plan degraded() to run it anyway"
+            ),
+            FaultPlanError::RestartWithoutCrash(p) => {
+                write!(f, "RestartAt for processor {p:?} which never crashes")
+            }
+            FaultPlanError::DuplicateRestart(p) => {
+                write!(f, "duplicate RestartAt entries for processor {p:?}")
+            }
+            FaultPlanError::UnknownProcessor(p) => {
+                write!(f, "processor {p:?} is outside the population")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// The full fault plan for one cluster run.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     /// Scripted crashes.
     pub crashes: Vec<CrashAt>,
+    /// Scripted restarts of crashed processors.
+    pub restarts: Vec<RestartAt>,
     /// The network delay model.
     pub delay: DelayModel,
     /// Scripted link outages.
     pub outages: Vec<LinkOutage>,
+    /// Acknowledges that the plan may exceed the fault bound `t`.
+    /// Degraded plans exercise Theorem 11 territory: safety must still
+    /// hold, but termination is only owed after enough restarts.
+    pub degraded: bool,
 }
 
 impl Default for FaultPlan {
     fn default() -> FaultPlan {
         FaultPlan {
             crashes: Vec::new(),
+            restarts: Vec::new(),
             delay: DelayModel::None,
             outages: Vec::new(),
+            degraded: false,
         }
     }
 }
@@ -143,12 +219,76 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a scripted restart of a crashed processor.
+    #[must_use]
+    pub fn with_restart(
+        mut self,
+        victim: ProcessorId,
+        at: Duration,
+        from_snapshot: bool,
+    ) -> FaultPlan {
+        self.restarts.push(RestartAt {
+            victim,
+            at,
+            from_snapshot,
+        });
+        self
+    }
+
+    /// Marks the plan as intentionally degraded (more than `t` crashes
+    /// allowed); see [`FaultPlan::degraded`].
+    #[must_use]
+    pub fn degraded(mut self) -> FaultPlan {
+        self.degraded = true;
+        self
+    }
+
+    /// Checks the plan against a population of `n` processors with
+    /// fault bound `t`. Returns the first problem found; a plan that
+    /// passes is *t-admissible* (or explicitly degraded) and internally
+    /// consistent.
+    pub fn validate(&self, n: usize, t: usize) -> Result<(), FaultPlanError> {
+        let mut crash_victims = std::collections::BTreeSet::new();
+        for c in &self.crashes {
+            if c.victim.index() >= n {
+                return Err(FaultPlanError::UnknownProcessor(c.victim));
+            }
+            if !crash_victims.insert(c.victim) {
+                return Err(FaultPlanError::DuplicateCrash(c.victim));
+            }
+        }
+        if crash_victims.len() > t && !self.degraded {
+            return Err(FaultPlanError::ExceedsFaultBound {
+                crashed: crash_victims.len(),
+                bound: t,
+            });
+        }
+        let mut restart_victims = std::collections::BTreeSet::new();
+        for r in &self.restarts {
+            if r.victim.index() >= n {
+                return Err(FaultPlanError::UnknownProcessor(r.victim));
+            }
+            if !crash_victims.contains(&r.victim) {
+                return Err(FaultPlanError::RestartWithoutCrash(r.victim));
+            }
+            if !restart_victims.insert(r.victim) {
+                return Err(FaultPlanError::DuplicateRestart(r.victim));
+            }
+        }
+        Ok(())
+    }
+
     /// The crash step for `p`, if scripted.
     pub fn crash_step(&self, p: ProcessorId) -> Option<u64> {
         self.crashes
             .iter()
             .find(|c| c.victim == p)
             .map(|c| c.at_step)
+    }
+
+    /// The scripted restart of `p`, if any.
+    pub fn restart_of(&self, p: ProcessorId) -> Option<RestartAt> {
+        self.restarts.iter().copied().find(|r| r.victim == p)
     }
 
     /// If traffic between `x` and `y` at offset `at` is cut, returns
@@ -205,5 +345,78 @@ mod tests {
         let plan = FaultPlan::none().with_crash(ProcessorId::new(2), 7);
         assert_eq!(plan.crash_step(ProcessorId::new(2)), Some(7));
         assert_eq!(plan.crash_step(ProcessorId::new(1)), None);
+    }
+
+    #[test]
+    fn uniform_saturates_on_huge_spans() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let model = DelayModel::Uniform {
+            min: Duration::ZERO,
+            // A span whose nanosecond count exceeds u64::MAX; before
+            // the saturation fix this wrapped to a tiny delay.
+            max: Duration::from_secs(u64::MAX / 1_000_000_000 + 10),
+        };
+        for _ in 0..10 {
+            let _ = model.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_admissible_plans() {
+        let plan = FaultPlan::none()
+            .with_crash(ProcessorId::new(1), 3)
+            .with_crash(ProcessorId::new(2), 5)
+            .with_restart(ProcessorId::new(1), Duration::from_millis(50), true);
+        assert_eq!(plan.validate(5, 2), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_crash() {
+        let plan = FaultPlan::none()
+            .with_crash(ProcessorId::new(1), 3)
+            .with_crash(ProcessorId::new(1), 9);
+        assert_eq!(
+            plan.validate(5, 2),
+            Err(FaultPlanError::DuplicateCrash(ProcessorId::new(1)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_over_budget_unless_degraded() {
+        let over = FaultPlan::none()
+            .with_crash(ProcessorId::new(0), 1)
+            .with_crash(ProcessorId::new(1), 1)
+            .with_crash(ProcessorId::new(2), 1);
+        assert_eq!(
+            over.validate(5, 2),
+            Err(FaultPlanError::ExceedsFaultBound {
+                crashed: 3,
+                bound: 2
+            })
+        );
+        assert_eq!(over.degraded().validate(5, 2), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_restart_inconsistencies() {
+        let no_crash =
+            FaultPlan::none().with_restart(ProcessorId::new(3), Duration::from_millis(1), false);
+        assert_eq!(
+            no_crash.validate(5, 2),
+            Err(FaultPlanError::RestartWithoutCrash(ProcessorId::new(3)))
+        );
+        let doubled = FaultPlan::none()
+            .with_crash(ProcessorId::new(3), 2)
+            .with_restart(ProcessorId::new(3), Duration::from_millis(1), false)
+            .with_restart(ProcessorId::new(3), Duration::from_millis(2), true);
+        assert_eq!(
+            doubled.validate(5, 2),
+            Err(FaultPlanError::DuplicateRestart(ProcessorId::new(3)))
+        );
+        let out_of_range = FaultPlan::none().with_crash(ProcessorId::new(9), 2);
+        assert_eq!(
+            out_of_range.validate(5, 2),
+            Err(FaultPlanError::UnknownProcessor(ProcessorId::new(9)))
+        );
     }
 }

@@ -14,6 +14,8 @@
 
 mod cluster;
 mod fault;
+mod recovery;
 
 pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
-pub use fault::{CrashAt, DelayModel, FaultPlan};
+pub use fault::{CrashAt, DelayModel, FaultPlan, FaultPlanError, LinkOutage, RestartAt};
+pub use recovery::run_cluster_recoverable;

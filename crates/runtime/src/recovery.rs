@@ -1,0 +1,482 @@
+//! Crash–recovery for the threaded cluster: respawning node threads
+//! from persisted state.
+//!
+//! [`run_cluster`](crate::run_cluster) implements the paper's fail-stop
+//! faults — a crashed thread vanishes forever. The paper's Theorem 11
+//! deliberately leaves the door open: with more than `t` crashes the
+//! protocol never decides wrongly, it merely stalls, *"leaving the
+//! opportunity to recover"*. [`run_cluster_recoverable`] walks through
+//! that door. Each processor's [`Recoverable`] snapshot plays the role
+//! of stable storage: at the scripted crash the dying thread persists
+//! its snapshot, and a scripted [`RestartAt`](crate::RestartAt) later
+//! respawns the thread from it (or, for an amnesiac restart, from the
+//! processor's initial snapshot, in which case the automaton rejoins as
+//! a non-participating observer — see
+//! [`Recoverable::restore_amnesiac`]).
+//!
+//! Two properties make the restart sound:
+//!
+//! * **Inboxes survive crashes.** Each node's channel receiver lives in
+//!   an `Arc<Mutex<…>>`; the restarted thread locks the same receiver
+//!   and inherits every message queued while the processor was down,
+//!   preserving the model's eventual-delivery guarantee across the
+//!   fault.
+//! * **Snapshots are crash-consistent.** The snapshot is taken at the
+//!   crash itself, before the step's messages are sent, so a restored
+//!   automaton can never contradict anything already on the wire — it
+//!   resumes deterministically and re-broadcasts its current protocol
+//!   position once (receivers deduplicate by sender).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rtc_model::{Delivery, LocalClock, ProcessorId, Recoverable, SeedCollection, Status};
+
+use crate::cluster::{ClusterOptions, ClusterReport, Delayed, Envelope};
+use crate::fault::{FaultPlan, RestartAt};
+
+/// An inbox endpoint shareable across a node's successive incarnations.
+type SharedInbox<M> = Arc<Mutex<Receiver<Envelope<M>>>>;
+
+/// Everything the node, delayer, and monitor threads share.
+struct Shared<A: Recoverable> {
+    statuses: Mutex<Vec<Status>>,
+    steps: Mutex<Vec<u64>>,
+    done: AtomicBool,
+    messages: AtomicU64,
+    link_delays: Mutex<Vec<i64>>,
+    /// Crash-time snapshots — the stable storage a dying thread writes.
+    crash_snaps: Mutex<Vec<Option<A::Snapshot>>>,
+    /// Initial-state snapshots, the fallback for amnesiac restarts.
+    /// (In a Mutex only to make `Shared` Sync without demanding
+    /// `Snapshot: Sync`; it is written once, before any thread starts.)
+    init_snaps: Mutex<Vec<A::Snapshot>>,
+    /// Currently crashed and not (yet) restarted.
+    down: Mutex<Vec<bool>>,
+    /// Whether each processor's scripted crash actually fired.
+    ever_crashed: Mutex<Vec<bool>>,
+    inbox_tx: Vec<Sender<Envelope<A::Msg>>>,
+    delay_tx: Sender<Delayed<A::Msg>>,
+    seeds: SeedCollection,
+    plan: FaultPlan,
+    start: Instant,
+    tick: Duration,
+    max_steps: u64,
+}
+
+/// How a node thread comes up: the first incarnation, or a restart.
+enum Boot<A> {
+    Fresh { auto: A, crash_at: Option<u64> },
+    Restart { from_snapshot: bool },
+}
+
+fn spawn_node<A>(
+    shared: Arc<Shared<A>>,
+    i: usize,
+    rx: SharedInbox<A::Msg>,
+    boot: Boot<A>,
+) -> thread::JoinHandle<()>
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    thread::spawn(move || {
+        let id = ProcessorId::new(i);
+        // The inbox mutex serialises incarnations: a restarting thread
+        // blocks here until its predecessor exits, then inherits every
+        // message queued meanwhile (eventual delivery across the crash).
+        let rx = rx.lock();
+        let (mut auto, crash_at, mut clock) = match boot {
+            Boot::Fresh { auto, crash_at } => (auto, crash_at, 0u64),
+            Boot::Restart { from_snapshot } => {
+                let snap = if from_snapshot {
+                    shared.crash_snaps.lock()[i].clone()
+                } else {
+                    None
+                };
+                let auto = match &snap {
+                    Some(s) => A::restore(s),
+                    None => A::restore_amnesiac(&shared.init_snaps.lock()[i]),
+                };
+                // Resume the step counter where the predecessor left it
+                // so per-step randomness is never reused.
+                let clock = shared.steps.lock()[i];
+                shared.statuses.lock()[i] = auto.status();
+                (auto, None, clock)
+            }
+        };
+        let mut net_rng = SmallRng::seed_from_u64(
+            shared.seeds.master() ^ (0xC0FFEE + i as u64) ^ clock.wrapping_mul(0x9E37_79B9),
+        );
+        let mut seq = 0u64;
+        while !shared.done.load(Ordering::Relaxed) && clock < shared.max_steps {
+            if crash_at == Some(clock) {
+                // Fail-stop mid-broadcast: this step's messages are
+                // never sent. Stable storage (the snapshot) survives.
+                shared.crash_snaps.lock()[i] = Some(auto.snapshot());
+                shared.ever_crashed.lock()[i] = true;
+                shared.down.lock()[i] = true;
+                return;
+            }
+            // Collect one tick's worth of arrivals.
+            let deadline = Instant::now() + shared.tick;
+            let mut delivered: Vec<Delivery<A::Msg>> = Vec::new();
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(env) => {
+                        shared
+                            .link_delays
+                            .lock()
+                            .push(clock as i64 - env.sent_at_tick as i64);
+                        delivered.push(Delivery::new(env.from, env.msg));
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            let mut rng = shared.seeds.step_rng(id, LocalClock::new(clock));
+            let outs = auto.step(&delivered, &mut rng);
+            clock += 1;
+            shared.steps.lock()[i] = clock;
+            shared.statuses.lock()[i] = auto.status();
+            for out in outs {
+                shared.messages.fetch_add(1, Ordering::Relaxed);
+                let env = Envelope {
+                    from: id,
+                    sent_at_tick: clock,
+                    msg: out.msg,
+                };
+                let mut hold = shared.plan.delay.sample(&mut net_rng);
+                // A link outage buffers the message until the window
+                // closes (eventual delivery is preserved).
+                let at = shared.start.elapsed();
+                if let Some(until) = shared.plan.outage_until(id, out.to, at) {
+                    hold = hold.max(until.saturating_sub(at));
+                }
+                if hold.is_zero() {
+                    let _ = shared.inbox_tx[out.to.index()].send(env);
+                } else {
+                    seq += 1;
+                    let _ = shared.delay_tx.send(Delayed {
+                        due: Instant::now() + hold,
+                        seq,
+                        to: out.to.index(),
+                        env,
+                    });
+                }
+            }
+        }
+    })
+}
+
+/// Runs a population of [`Recoverable`] automata on threads, honouring
+/// the fault plan's scripted crashes *and restarts*.
+///
+/// Semantics beyond [`run_cluster`](crate::run_cluster):
+///
+/// * At its scripted crash step a node persists its snapshot and its
+///   thread exits without sending that step's messages.
+/// * A scripted [`RestartAt`](crate::RestartAt) respawns the victim's
+///   thread once it is actually down and the restart offset has passed
+///   (whichever is later) — from the crash snapshot when
+///   `from_snapshot` is set, otherwise amnesiac from the initial
+///   snapshot.
+/// * The run ends when every processor that is not *currently* down has
+///   decided and no restart is still pending, or at `wall_timeout`.
+/// * In the report, `crashed` records crashes that actually fired and
+///   `recovered` the restarts that did; a crashed-then-recovered
+///   processor owes a decision like everyone else
+///   ([`ClusterReport::all_nonfaulty_decided`]).
+///
+/// Degraded plans (more than `t` crashes) are exactly the Theorem 11
+/// experiment: the cluster must stall *without* a wrong answer, then
+/// terminate after enough restarts. See
+/// [`FaultPlan::validate`](crate::FaultPlan::validate).
+pub fn run_cluster_recoverable<A>(
+    procs: Vec<A>,
+    seeds: SeedCollection,
+    faults: FaultPlan,
+    opts: ClusterOptions,
+) -> ClusterReport
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    let n = procs.len();
+    assert!(n > 0, "cluster needs at least one processor");
+    let start = Instant::now();
+
+    let mut inbox_tx = Vec::with_capacity(n);
+    let mut inbox_rx: Vec<SharedInbox<A::Msg>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Envelope<A::Msg>>();
+        inbox_tx.push(tx);
+        inbox_rx.push(Arc::new(Mutex::new(rx)));
+    }
+    let (delay_tx, delay_rx) = unbounded::<Delayed<A::Msg>>();
+
+    let init_snaps: Vec<A::Snapshot> = procs.iter().map(Recoverable::snapshot).collect();
+    let shared = Arc::new(Shared::<A> {
+        statuses: Mutex::new(vec![Status::Undecided; n]),
+        steps: Mutex::new(vec![0; n]),
+        done: AtomicBool::new(false),
+        messages: AtomicU64::new(0),
+        link_delays: Mutex::new(Vec::new()),
+        crash_snaps: Mutex::new((0..n).map(|_| None).collect()),
+        init_snaps: Mutex::new(init_snaps),
+        down: Mutex::new(vec![false; n]),
+        ever_crashed: Mutex::new(vec![false; n]),
+        inbox_tx,
+        delay_tx,
+        seeds,
+        plan: faults.clone(),
+        start,
+        tick: opts.tick,
+        max_steps: opts.max_steps,
+    });
+
+    // The delayer thread; returns the count of held messages whose hold
+    // outlived the run (accounted, not silently dropped).
+    let delayer = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || -> u64 {
+            let mut heap: BinaryHeap<Delayed<A::Msg>> = BinaryHeap::new();
+            loop {
+                let timeout = heap
+                    .peek()
+                    .map(|d| d.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(5));
+                match delay_rx.recv_timeout(timeout) {
+                    Ok(d) => heap.push(d),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return heap.len() as u64,
+                }
+                let now = Instant::now();
+                while heap.peek().is_some_and(|d| d.due <= now) {
+                    let d = heap.pop().expect("peeked");
+                    let _ = shared.inbox_tx[d.to].send(d.env);
+                }
+                if shared.done.load(Ordering::Relaxed) {
+                    return heap.len() as u64;
+                }
+            }
+        })
+    };
+
+    // First incarnations.
+    let mut handles = Vec::with_capacity(n);
+    for (i, auto) in procs.into_iter().enumerate() {
+        let crash_at = faults.crash_step(ProcessorId::new(i));
+        handles.push(spawn_node(
+            Arc::clone(&shared),
+            i,
+            Arc::clone(&inbox_rx[i]),
+            Boot::Fresh { auto, crash_at },
+        ));
+    }
+
+    // Monitor: fire due restarts, stop when everyone owing a decision
+    // has one, give up at the wall timeout.
+    let mut pending: Vec<RestartAt> = faults.restarts.clone();
+    pending.sort_by_key(|r| r.at);
+    let mut recovered = vec![false; n];
+    let mut decided_in_time = false;
+    while start.elapsed() < opts.wall_timeout {
+        let now = start.elapsed();
+        let mut i = 0;
+        while i < pending.len() {
+            let r = pending[i];
+            let idx = r.victim.index();
+            // A restart fires at its offset or at the victim's actual
+            // crash, whichever is later.
+            if now >= r.at && shared.down.lock()[idx] {
+                // Marked up here (not in the spawned thread) so the
+                // decision check below immediately owes this processor
+                // a decision again — no window where the run could end
+                // without it.
+                shared.down.lock()[idx] = false;
+                recovered[idx] = true;
+                handles.push(spawn_node(
+                    Arc::clone(&shared),
+                    idx,
+                    Arc::clone(&inbox_rx[idx]),
+                    Boot::Restart {
+                        from_snapshot: r.from_snapshot,
+                    },
+                ));
+                pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let all_done = pending.is_empty() && {
+            let st = shared.statuses.lock();
+            let down = shared.down.lock().clone();
+            st.iter()
+                .zip(&down)
+                .all(|(s, is_down)| *is_down || s.is_decided())
+        };
+        if all_done {
+            decided_in_time = true;
+            break;
+        }
+        thread::sleep(opts.tick);
+    }
+    shared.done.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let messages_undelivered = delayer.join().unwrap_or(0);
+
+    let report = ClusterReport {
+        statuses: shared.statuses.lock().clone(),
+        steps: shared.steps.lock().clone(),
+        crashed: shared.ever_crashed.lock().clone(),
+        recovered,
+        messages_sent: shared.messages.load(Ordering::Relaxed),
+        messages_undelivered,
+        wall: start.elapsed(),
+        decided_in_time,
+        link_delays: shared.link_delays.lock().clone(),
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use rtc_core::{commit_population, CommitConfig};
+    use rtc_model::{TimingParams, Value};
+
+    use super::*;
+
+    fn cfg(n: usize) -> CommitConfig {
+        CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+    }
+
+    fn opts() -> ClusterOptions {
+        ClusterOptions {
+            tick: Duration::from_micros(300),
+            max_steps: 200_000,
+            wall_timeout: Duration::from_secs(30),
+        }
+    }
+
+    #[test]
+    fn faultfree_plans_behave_like_run_cluster() {
+        let c = cfg(3);
+        let report = run_cluster_recoverable(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(41),
+            FaultPlan::none(),
+            opts(),
+        );
+        assert!(report.decided_in_time, "{report:?}");
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+        assert_eq!(report.recovered, vec![false; 3]);
+    }
+
+    #[test]
+    fn tolerated_crash_with_snapshot_restart_rejoins_and_decides() {
+        let c = cfg(5); // t = 2
+        let plan = FaultPlan::none()
+            .with_crash(ProcessorId::new(3), 6)
+            .with_restart(ProcessorId::new(3), Duration::from_millis(30), true);
+        plan.validate(5, c.fault_bound()).unwrap();
+        let report = run_cluster_recoverable(
+            commit_population(c, &[Value::One; 5]),
+            SeedCollection::new(42),
+            plan,
+            opts(),
+        );
+        assert!(report.decided_in_time, "{report:?}");
+        assert!(report.crashed[3] && report.recovered[3]);
+        // The restarted processor owes — and reaches — a decision.
+        assert!(report.statuses[3].is_decided(), "{report:?}");
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn amnesiac_restart_catches_up_as_observer() {
+        let c = cfg(3); // t = 1
+        let plan = FaultPlan::none()
+            .with_crash(ProcessorId::new(2), 4)
+            .with_restart(ProcessorId::new(2), Duration::from_millis(30), false);
+        plan.validate(3, c.fault_bound()).unwrap();
+        let report = run_cluster_recoverable(
+            commit_population(c, &[Value::One; 3]),
+            SeedCollection::new(43),
+            plan,
+            opts(),
+        );
+        assert!(report.decided_in_time, "{report:?}");
+        // The observer adopts the decision the others reached.
+        assert!(report.statuses[2].is_decided(), "{report:?}");
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn degraded_crashes_stall_without_wrong_answer_then_recover() {
+        // Theorem 11, end to end on real threads: crash t+1 processors
+        // (more than the bound), observe a graceful stall — nobody
+        // decides anything, let alone anything wrong — then restart the
+        // crashed pair from their snapshots and watch the protocol
+        // terminate.
+        //
+        // Crashing at step 0 (before a single send) makes the stall
+        // deterministic: the survivor's GO quorum times out, its abort
+        // vote feeds Protocol 1 input 0, and the `n - t = 2` First
+        // quorum can never assemble with one processor alive. Early
+        // abort is disabled so the survivor cannot short-circuit to a
+        // lone abort decision.
+        const N: usize = 3;
+        let c = cfg(N).with_early_abort(false); // t = 1; crashing 2 exceeds it
+        let stall_plan = FaultPlan::none()
+            .with_crash(ProcessorId::new(1), 0)
+            .with_crash(ProcessorId::new(2), 0)
+            .degraded();
+        stall_plan.validate(N, c.fault_bound()).unwrap();
+        let mut stall_opts = opts();
+        stall_opts.wall_timeout = Duration::from_millis(400);
+        let stalled = run_cluster_recoverable(
+            commit_population(c, &[Value::One; N]),
+            SeedCollection::new(44),
+            stall_plan.clone(),
+            stall_opts,
+        );
+        // Graceful degradation: the run times out rather than deciding,
+        // and the survivor holds no decision at all.
+        assert!(!stalled.decided_in_time, "{stalled:?}");
+        assert!(!stalled.statuses[0].is_decided(), "{stalled:?}");
+        assert!(stalled.agreement_holds());
+
+        // Same schedule, plus restarts: termination is recovered.
+        let recover_plan = stall_plan
+            .with_restart(ProcessorId::new(1), Duration::from_millis(60), true)
+            .with_restart(ProcessorId::new(2), Duration::from_millis(90), true);
+        recover_plan.validate(N, c.fault_bound()).unwrap();
+        let report = run_cluster_recoverable(
+            commit_population(c, &[Value::One; N]),
+            SeedCollection::new(44),
+            recover_plan,
+            opts(),
+        );
+        assert!(report.decided_in_time, "{report:?}");
+        assert_eq!(report.crashed, vec![false, true, true]);
+        assert_eq!(report.recovered, vec![false, true, true]);
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+    }
+}

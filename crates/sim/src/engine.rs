@@ -56,6 +56,11 @@ pub enum SimError {
         /// The destination that received two messages.
         to: ProcessorId,
     },
+    /// Only a crashed processor can be revived.
+    ReviveNotCrashed {
+        /// The processor that is still alive.
+        p: ProcessorId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +82,9 @@ impl fmt::Display for SimError {
             }
             SimError::DuplicateDestination { p, to } => {
                 write!(f, "{p} sent two messages to {to} in one step")
+            }
+            SimError::ReviveNotCrashed { p } => {
+                write!(f, "{p} is not crashed and cannot be revived")
             }
         }
     }
@@ -602,6 +610,43 @@ impl<A: Automaton> Sim<A> {
         self.event += 1;
         Ok(())
     }
+
+    /// Revives a crashed processor with a replacement automaton — the
+    /// environment-level restart the paper's Theorem 11 leaves open
+    /// ("leaving the opportunity to recover").
+    ///
+    /// The caller chooses the restart semantics by choosing `auto`: a
+    /// [`rtc_model::Recoverable::restore`]d snapshot models stable
+    /// storage, a fresh automaton models an amnesiac reboot. Messages
+    /// buffered for `p` survive the crash and are deliverable to the
+    /// replacement; the crash still counts against the fault budget
+    /// (the processor *was* faulty in the run's pattern).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownProcessor`] if `p` is out of range, and
+    /// [`SimError::ReviveNotCrashed`] if `p` is currently alive.
+    pub fn revive(&mut self, p: ProcessorId, auto: A) -> Result<(), SimError> {
+        let i = p.index();
+        if i >= self.autos.len() {
+            return Err(SimError::UnknownProcessor { p });
+        }
+        if !self.crashed[i] {
+            return Err(SimError::ReviveNotCrashed { p });
+        }
+        self.crashed[i] = false;
+        // Decision records stay monotone: a decision already in the
+        // trace is never re-recorded, and a snapshot restored past its
+        // decision point must not produce a late duplicate record.
+        self.decided[i] = self.decided[i] || auto.status().value().is_some();
+        self.autos[i] = auto;
+        // Restart the fairness clock so the scheduler is not forced to
+        // schedule the revived processor immediately.
+        self.last_sched_event[i] = self.event;
+        self.trace.push_event(EventRecord::Revive { p });
+        self.event += 1;
+        Ok(())
+    }
 }
 
 /// Adapter presenting a pattern-only adversary as a content adversary
@@ -812,6 +857,63 @@ mod tests {
         let mut s = sim(3, 2);
         let err = s.run(&mut DropEarly, RunLimits::default()).unwrap_err();
         assert!(matches!(err, SimError::DropNotDroppable { .. }));
+    }
+
+    #[test]
+    fn revive_rejoins_a_crashed_processor() {
+        // Crash p1 mid-run, then revive it and let the run finish: the
+        // replacement must inherit p1's buffered inbox and decide.
+        struct CrashOnce(bool);
+        impl Adversary for CrashOnce {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                let p1 = ProcessorId::new(1);
+                if !self.0 && !view.is_crashed(p1) {
+                    self.0 = true;
+                    return Action::Crash {
+                        p: p1,
+                        drop: vec![],
+                    };
+                }
+                // Round-robin over alive processors, delivering everything.
+                for p in ProcessorId::all(view.population()) {
+                    if !view.is_crashed(p) && !view.pending(p).is_empty() {
+                        let deliver = view.pending(p).iter().map(|m| m.id).collect();
+                        return Action::Step { p, deliver };
+                    }
+                }
+                let p = ProcessorId::all(view.population())
+                    .find(|p| !view.is_crashed(*p))
+                    .unwrap();
+                Action::Step { p, deliver: vec![] }
+            }
+        }
+        let mut s = sim(3, 2);
+        let p1 = ProcessorId::new(1);
+        // Reviving an alive processor is rejected.
+        let err = s.revive(p1, Echo::new(p1, 3, 2)).unwrap_err();
+        assert_eq!(err, SimError::ReviveNotCrashed { p: p1 });
+        // Run a short segment in which p1 crashes before deciding.
+        let report = s
+            .run(&mut CrashOnce(false), RunLimits::with_max_events(40))
+            .unwrap();
+        assert!(report.is_faulty(p1));
+        // Revive with a fresh (amnesiac) Echo: buffered messages for p1
+        // survived the crash, so it can still reach its target.
+        s.revive(p1, Echo::new(p1, 3, 2)).unwrap();
+        let report = s
+            .run(&mut CrashOnce(true), RunLimits::with_max_events(10_000))
+            .unwrap();
+        assert!(!report.is_faulty(p1));
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+        // The trace still shows the crash (the processor was faulty in
+        // the pattern) plus the revive event.
+        assert_eq!(s.trace().faulty(), &[p1]);
+        assert!(s
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, EventRecord::Revive { p } if *p == p1)));
     }
 
     #[test]

@@ -52,6 +52,12 @@ impl MessagePattern {
                     received_from_events: Vec::new(),
                     sent_to: Vec::new(),
                 },
+                EventRecord::Revive { p } => PatternTriple {
+                    p: *p,
+                    failure: false,
+                    received_from_events: Vec::new(),
+                    sent_to: Vec::new(),
+                },
                 EventRecord::Step {
                     p, delivered, sent, ..
                 } => {

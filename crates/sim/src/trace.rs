@@ -61,13 +61,22 @@ pub enum EventRecord {
         /// The crashing processor.
         p: ProcessorId,
     },
+    /// Processor `p` was revived (restarted) after a crash. This is an
+    /// environment event outside the paper's fail-stop pattern; the
+    /// pattern extraction treats it as a messageless step.
+    Revive {
+        /// The revived processor.
+        p: ProcessorId,
+    },
 }
 
 impl EventRecord {
     /// The processor involved in this event.
     pub fn processor(&self) -> ProcessorId {
         match self {
-            EventRecord::Step { p, .. } | EventRecord::Crash { p } => *p,
+            EventRecord::Step { p, .. } | EventRecord::Crash { p } | EventRecord::Revive { p } => {
+                *p
+            }
         }
     }
 }

@@ -31,6 +31,6 @@ mod store;
 mod wal;
 
 pub use epochs::{EpochError, EpochOutcome, EpochRunner};
-pub use replica::{replica_population, Replica, TxBatchStatus, TxMsg};
+pub use replica::{replica_population, Replica, ReplicaSnapshot, TxBatchStatus, TxMsg};
 pub use store::{Op, Store, Transaction, TxId};
 pub use wal::{LogRecord, Wal};

@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use rtc_core::{CommitAutomaton, CommitConfig, CommitMsg};
-use rtc_model::{Automaton, Decision, Delivery, ProcessorId, Send, Status, StepRng, Value};
+use rtc_model::{
+    Automaton, Decision, Delivery, ProcessorId, Recoverable, Send, Status, StepRng, Value,
+};
 
 use crate::store::{Store, Transaction, TxId};
 use crate::wal::{LogRecord, Wal};
@@ -40,7 +42,7 @@ pub struct Replica {
     instances: BTreeMap<TxId, CommitAutomaton>,
     outcomes: BTreeMap<TxId, Decision>,
     wal: Wal,
-    n: usize,
+    cfg: CommitConfig,
 }
 
 impl Replica {
@@ -100,7 +102,7 @@ impl Replica {
             instances,
             outcomes: BTreeMap::new(),
             wal,
-            n: cfg.population(),
+            cfg,
         }
     }
 
@@ -112,10 +114,13 @@ impl Replica {
     /// instances are recreated only for transactions that were still
     /// undecided at the crash.
     ///
-    /// Rejoining a *live* population mid-protocol additionally requires
-    /// the decision-broadcast extension
-    /// ([`CommitConfig::with_decision_broadcast`]) so that peers that
-    /// already decided re-announce; without it this constructor is the
+    /// The recreated instances come up in *rejoining* mode: instead of
+    /// re-running the protocol from scratch (whose replayed coin flips
+    /// could contradict messages the pre-crash incarnation already
+    /// sent), they ping their peers and adopt the decided value from
+    /// the `Decided` replies — even already-halted peers answer pings
+    /// directly. A replica restarting into a *dead* population simply
+    /// stays pending for its undecided transactions, which is the
     /// restart-after-quiescence path (e.g. replaying the log to rebuild
     /// the store).
     ///
@@ -144,7 +149,12 @@ impl Replica {
                     outcomes.insert(tx.id, decision);
                 }
                 None => {
-                    instances.insert(tx.id, CommitAutomaton::new(cfg, id, vote));
+                    // The WAL pins the vote but not the in-flight
+                    // protocol traffic, so the recreated instance is an
+                    // amnesiac observer: it catches up by pinging
+                    // instead of replaying (which could equivocate).
+                    let fresh = CommitAutomaton::new(cfg, id, vote);
+                    instances.insert(tx.id, CommitAutomaton::restore_amnesiac(&fresh.snapshot()));
                 }
             }
             txs.insert(tx.id, tx.clone());
@@ -156,7 +166,7 @@ impl Replica {
             instances,
             outcomes,
             wal: wal.clone(),
-            n: cfg.population(),
+            cfg,
         }
     }
 
@@ -238,7 +248,6 @@ impl Automaton for Replica {
                 }
             }
         }
-        let _ = self.n;
         outgoing
             .into_iter()
             .map(|(to, msgs)| Send::new(to, msgs))
@@ -252,6 +261,55 @@ impl Automaton for Replica {
         } else {
             Status::Undecided
         }
+    }
+}
+
+/// The durable footprint of a [`Replica`] — what survives a crash on
+/// stable storage: deployment config, initial store, the batch, and the
+/// write-ahead log. Volatile protocol state (in-flight [`CommitAutomaton`]
+/// instances) is deliberately *not* captured; [`Recoverable::restore`]
+/// rebuilds it through [`Replica::recover`], exactly as a real restart
+/// replays the WAL.
+#[derive(Clone)]
+pub struct ReplicaSnapshot {
+    cfg: CommitConfig,
+    id: ProcessorId,
+    initial: Store,
+    batch: Vec<Transaction>,
+    wal: Wal,
+}
+
+impl fmt::Debug for ReplicaSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaSnapshot")
+            .field("id", &self.id)
+            .field("batch", &self.batch.len())
+            .field("wal", &self.wal.len())
+            .finish()
+    }
+}
+
+impl Recoverable for Replica {
+    type Snapshot = ReplicaSnapshot;
+
+    fn snapshot(&self) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            cfg: self.cfg,
+            id: self.id,
+            initial: self.initial.clone(),
+            batch: self.batch.values().cloned().collect(),
+            wal: self.wal.clone(),
+        }
+    }
+
+    fn restore(snapshot: &ReplicaSnapshot) -> Replica {
+        Replica::recover(
+            snapshot.cfg,
+            snapshot.id,
+            snapshot.initial.clone(),
+            &snapshot.batch,
+            &snapshot.wal,
+        )
     }
 }
 
@@ -467,6 +525,22 @@ mod tests {
         );
         assert!(!recovered.status().is_decided());
         assert_eq!(recovered.batch_status().pending, vec![TxId(1)]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_through_the_wal() {
+        let initial = Store::with_entries([("alice", 100)]);
+        let batch = vec![
+            transfer(1, "alice", "bob", 70),
+            transfer(2, "alice", "bob", 9_999),
+        ];
+        let replicas = run_batch(4, &initial, &batch, 13);
+        let original = &replicas[1];
+        let restored = Replica::restore(&original.snapshot());
+        assert_eq!(restored.outcomes(), original.outcomes());
+        assert_eq!(restored.store(), original.store());
+        assert!(restored.wal().extends(original.wal()));
+        assert!(original.wal().extends(restored.wal()));
     }
 
     #[test]

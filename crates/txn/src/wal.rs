@@ -55,6 +55,25 @@ impl Wal {
         &self.records
     }
 
+    /// Number of records logged so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether `self` extends `prefix` — every record of `prefix`, in
+    /// order, followed by zero or more new records. Recovery must never
+    /// rewrite history: a restarted replica's log extends the log it
+    /// crashed with.
+    pub fn extends(&self, prefix: &Wal) -> bool {
+        self.records.len() >= prefix.records.len()
+            && self.records[..prefix.records.len()] == prefix.records
+    }
+
     /// The vote logged for `tx`, if any.
     pub fn vote_of(&self, tx: TxId) -> Option<Value> {
         self.records.iter().find_map(|r| match r {

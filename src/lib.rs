@@ -20,7 +20,9 @@
 //!   (`rtc-baselines`);
 //! * [`runtime`] — the threaded crossbeam-channel cluster
 //!   (`rtc-runtime`);
-//! * [`experiments`] — the Monte-Carlo harness (`rtc-experiments`).
+//! * [`experiments`] — the Monte-Carlo harness (`rtc-experiments`);
+//! * [`chaos`] — seeded chaos campaigns with crashes, restarts, delay
+//!   spikes, and link flaps over both substrates (`rtc-chaos`).
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use rtc_baselines as baselines;
+pub use rtc_chaos as chaos;
 pub use rtc_core as core;
 pub use rtc_experiments as experiments;
 pub use rtc_lockstep as lockstep;

@@ -1,0 +1,95 @@
+//! The acceptance gate for the crash-recovery subsystem: a seeded
+//! chaos campaign of 200+ randomized fault schedules — crashes,
+//! restarts (snapshot and amnesiac), delay spikes, link flaps — each
+//! executed on **both** substrates (discrete-event simulator and
+//! threaded runtime), with zero tolerated safety violations; plus the
+//! flagship Theorem 11 scenario: crash `t + 1` processors, observe a
+//! graceful stall with no wrong answer, restart them, observe
+//! termination.
+
+use std::time::Duration;
+
+use rtc::chaos::{run_campaign, run_theorem11, CampaignConfig, ChaosOutcome, ChaosSchedule};
+use rtc::prelude::ClusterOptions;
+
+fn campaign_cluster() -> ClusterOptions {
+    ClusterOptions {
+        tick: Duration::from_millis(1),
+        max_steps: 400,
+        wall_timeout: Duration::from_secs(2),
+    }
+}
+
+/// ≥200 randomized fault schedules on the simulator, zero violations.
+/// Fast (discrete-event), so this leg carries the bulk of the count.
+#[test]
+fn campaign_of_200_schedules_is_safe_on_the_simulator() {
+    let cfg = CampaignConfig {
+        schedules: 200,
+        seed: 0x1986_C0A7,
+        run_runtime: false,
+        ..CampaignConfig::default()
+    };
+    let summary = run_campaign(&cfg);
+    assert!(summary.ok(), "violations: {:#?}", summary.violations);
+    assert_eq!(summary.sim_decided + summary.sim_stalled, 200);
+    assert!(
+        summary.sim_decided >= 150,
+        "most schedules are recoverable and must decide: {summary}"
+    );
+}
+
+/// The same generator pointed at the threaded runtime: every schedule
+/// runs over real threads, channels, and wall-clock restarts. Kept to
+/// a smaller count per test run because each run costs real time; the
+/// sim leg above plus this leg still exercise every schedule shape on
+/// both substrates via the shared generator.
+#[test]
+fn campaign_is_safe_on_the_threaded_runtime() {
+    let cfg = CampaignConfig {
+        schedules: 40,
+        seed: 0xD15C_0BA1,
+        run_sim: true,
+        run_runtime: true,
+        cluster: campaign_cluster(),
+        ..CampaignConfig::default()
+    };
+    let summary = run_campaign(&cfg);
+    assert!(summary.ok(), "violations: {:#?}", summary.violations);
+    assert_eq!(summary.runs(), 80, "both substrates ran every schedule");
+}
+
+/// Degraded crash-beyond-t schedules (no restarts) must stall without
+/// a wrong answer — on both substrates.
+#[test]
+fn degraded_schedules_stall_gracefully_without_deciding() {
+    for seed in [3u64, 17, 86] {
+        let stall = ChaosSchedule::theorem11(3, seed, false);
+        let sim = rtc::chaos::run_on_sim(&stall, 60_000);
+        assert_eq!(
+            sim.outcome,
+            ChaosOutcome::StalledGracefully,
+            "sim seed {seed}"
+        );
+        assert!(sim.verdict.agreement.ok());
+        assert!(!sim.verdict.deciding, "a stalled run decides nothing");
+    }
+}
+
+/// The flagship: Theorem 11 end to end on both substrates. Crash
+/// `t + 1` processors at step zero — the survivors can never assemble
+/// an `n - t` quorum, so the run stalls with no decision and no safety
+/// violation ("leaving the opportunity to recover"); then restart the
+/// victims from their crash-time snapshots and the protocol terminates.
+#[test]
+fn theorem11_crash_stall_restart_terminate_end_to_end() {
+    let evidence = run_theorem11(3, 1986, 400_000, campaign_cluster());
+    assert_eq!(evidence.stall_sim.outcome, ChaosOutcome::StalledGracefully);
+    assert_eq!(
+        evidence.stall_runtime.outcome,
+        ChaosOutcome::StalledGracefully
+    );
+    assert_eq!(evidence.recover_sim.outcome, ChaosOutcome::Decided);
+    assert_eq!(evidence.recover_runtime.outcome, ChaosOutcome::Decided);
+    assert!(evidence.holds());
+}

@@ -1,0 +1,212 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! The build environment cannot fetch the real criterion, so this
+//! crate supplies the same macro/struct surface the workspace benches
+//! use and executes each benchmark as a coarse timing loop. In
+//! `--test` mode (what CI runs via `cargo bench -- --test`) every
+//! target is executed exactly once as a smoke test, matching real
+//! criterion's behaviour. No statistics, plotting, or report files —
+//! just wall-clock medians printed to stdout so `cargo bench` output
+//! stays human-readable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver, parameterised by CLI flags.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Builds a driver from the process arguments; recognises the
+    /// `--test` flag (smoke-run every target once) and ignores the
+    /// rest of criterion's CLI surface, including the `--bench` flag
+    /// cargo appends.
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmark targets.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark target.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_target(self.test_mode, &id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A group of benchmark targets sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each target in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one target in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_target(self.criterion.test_mode, &label, self.sample_size, f);
+        self
+    }
+
+    /// Runs one target parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_target(self.criterion.test_mode, &label, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (report finalisation in real criterion; a
+    /// no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark target.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter rendering alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call to `iter`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_target<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    if test_mode {
+        // Smoke run: execute the routine once and report nothing.
+        f(&mut b);
+        println!("Testing {label} ... ok");
+        return;
+    }
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("{label:<60} median {median:?} ({sample_size} samples)");
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's
+/// positional form: `criterion_group!(benches, fn_a, fn_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_targets() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(20);
+        group.bench_function("one", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &n| {
+            b.iter(|| ran += n)
+        });
+        group.finish();
+        assert_eq!(ran, 6);
+    }
+}

@@ -1,0 +1,48 @@
+//! Vendored offline stand-in for `crossbeam-channel`, backed by
+//! `std::sync::mpsc`.
+//!
+//! The workspace only uses unbounded MPSC channels with
+//! `recv`/`recv_timeout`/`try_recv` on a single consumer, which std's
+//! channels provide with a compatible API. Multi-consumer `Receiver`
+//! cloning (a crossbeam extension) is not provided; the runtime shares
+//! receivers behind a mutex instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+/// The receiving half of an unbounded channel.
+pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+}

@@ -1,0 +1,547 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Supplies the subset of the proptest API this workspace uses:
+//! [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_perturb`, [`strategy::Just`], `any::<T>()` for primitives,
+//! range and tuple strategies, [`collection::vec`], the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, and `prop_oneof!` macros, and
+//! [`prelude::ProptestConfig`].
+//!
+//! Differences from upstream, deliberate for an offline build:
+//! inputs are drawn from a deterministic per-test generator (seeded
+//! from the test name and case index, so runs are reproducible), and
+//! failing cases are **not shrunk** — the failing inputs are printed
+//! verbatim instead. `.proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic random source handed to strategies.
+pub mod test_runner {
+    /// The generator strategies draw from. SplitMix64 under the hood;
+    /// the inherent [`TestRng::next_u64`] mirrors the method tests
+    /// reach through `prop_perturb`.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next random word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let x = self.next_u64();
+                if x < zone {
+                    return x % bound;
+                }
+            }
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Splits off an independent generator (used by `prop_perturb`,
+        /// which consumes a generator by value).
+        pub fn fork(&mut self) -> TestRng {
+            TestRng {
+                state: self.next_u64() ^ 0xA5A5_A5A5_A5A5_A5A5,
+            }
+        }
+    }
+
+    /// Runner configuration; only the case count is meaningful here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of randomized cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` randomized cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// FNV-1a over the test name: a stable per-test seed base so every
+    /// run (and every machine) replays identical inputs.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ ((case as u64) << 1 | 1)
+    }
+}
+
+/// Strategies: composable descriptions of how to generate a value.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f`.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Transforms generated values with `f`, which additionally
+        /// receives a generator of its own.
+        fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value, TestRng) -> O,
+        {
+            Perturb { inner: self, f }
+        }
+    }
+
+    /// Strategy yielding a clone of a fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_perturb`].
+    #[derive(Clone, Debug)]
+    pub struct Perturb<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Perturb<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value, TestRng) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            let v = self.inner.generate(rng);
+            (self.f)(v, rng.fork())
+        }
+    }
+
+    /// Uniform choice between homogeneous strategies (`prop_oneof!`).
+    #[derive(Clone, Debug)]
+    pub struct Union<S> {
+        options: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// Builds a union; `options` must be nonempty.
+        pub fn new(options: Vec<S>) -> Union<S> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Values with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for the whole domain of `T` (see [`Arbitrary`]).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: any value at all.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_strategy_for_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return (rng.next_u64() as i128 + start as i128) as $t;
+                    }
+                    (start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuple {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_strategy_for_tuple!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec()`](crate::collection::vec): either exact or a half-open
+    /// range, converted from `usize` / `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min
+                + if span > 0 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __runner {
+    use crate::test_runner::{seed_for, ProptestConfig, TestRng};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Drives `config.cases` deterministic cases. `make_case` draws the
+    /// inputs and returns their debug rendering plus the body closure;
+    /// a panicking body is reported with its inputs and re-raised.
+    pub fn run<F>(config: ProptestConfig, test_name: &str, mut make_case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Box<dyn FnOnce() + '_>),
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::from_seed(seed_for(test_name, case));
+            let (description, body) = make_case(&mut rng);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                eprintln!(
+                    "proptest: {test_name} failed at case {case}/{} with inputs: {description}",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn` runs `cases` times over inputs
+/// drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::__runner::run(__pt_config, stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                    let __pt_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    (__pt_desc, Box::new(move || { $body }))
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure, so
+/// the runner can report the generating inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice between strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($option),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            n in 3usize..9,
+            xs in crate::collection::vec((0usize..3, 1i64..80), 1..5),
+            flag in any::<bool>(),
+            seed in any::<u64>(),
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            for (a, b) in xs {
+                prop_assert!(a < 3);
+                prop_assert!((1..80).contains(&b));
+            }
+            let _ = (flag, seed);
+        }
+
+        #[test]
+        fn flat_map_and_oneof_compose(
+            v in (2usize..5).prop_flat_map(|n| crate::collection::vec(any::<bool>(), n)),
+            t in prop_oneof![Just(Tri::A), Just(Tri::B), Just(Tri::C)],
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(matches!(t, Tri::A | Tri::B | Tri::C));
+        }
+
+        #[test]
+        fn perturb_sees_a_generator(
+            idx in Just(()).prop_perturb(|_, mut rng| {
+                let mut idx: Vec<usize> = (0..8).collect();
+                for i in (1..idx.len()).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    idx.swap(i, j);
+                }
+                idx
+            }),
+        ) {
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{seed_for, TestRng};
+        let mut a = TestRng::from_seed(seed_for("x", 3));
+        let mut b = TestRng::from_seed(seed_for("x", 3));
+        let s = (0u64..1000, any::<bool>());
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
