@@ -21,6 +21,7 @@ use rtc_model::{LocalClock, ProcessorId, SeedCollection, Value};
 /// Panics unless `n > 2t` and `inputs.len() == n`.
 pub fn benor_population(n: usize, t: usize, inputs: &[Value]) -> Vec<AgreementAutomaton> {
     assert_eq!(inputs.len(), n, "one input per processor");
+    let no_coins = std::sync::Arc::new(CoinList::from_values(Vec::new()));
     (0..n)
         .map(|i| {
             AgreementAutomaton::new(
@@ -28,7 +29,7 @@ pub fn benor_population(n: usize, t: usize, inputs: &[Value]) -> Vec<AgreementAu
                 n,
                 t,
                 inputs[i],
-                CoinList::from_values(Vec::new()),
+                std::sync::Arc::clone(&no_coins),
             )
         })
         .collect()
@@ -76,10 +77,17 @@ pub fn worst_case_stages(
     let mut balance_rng = SmallRng::seed_from_u64(seed ^ 0xB41A);
     // Half the processors start at 1, half at 0: the adversary's
     // preferred initial configuration.
+    let coins = std::sync::Arc::new(coins);
     let mut machines: Vec<Agreement> = (0..n)
         .map(|i| {
             let input = Value::from_bool(i % 2 == 0);
-            Agreement::new(ProcessorId::new(i), n, t, input, coins.clone())
+            Agreement::new(
+                ProcessorId::new(i),
+                n,
+                t,
+                input,
+                std::sync::Arc::clone(&coins),
+            )
         })
         .collect();
     let quorum = n - t;

@@ -39,8 +39,18 @@ pub fn rabin_population(
     coins: CoinList,
 ) -> Vec<AgreementAutomaton> {
     assert_eq!(inputs.len(), n, "one input per processor");
+    // The dealer hands out one shared list, not n copies.
+    let coins = std::sync::Arc::new(coins);
     (0..n)
-        .map(|i| AgreementAutomaton::new(ProcessorId::new(i), n, t, inputs[i], coins.clone()))
+        .map(|i| {
+            AgreementAutomaton::new(
+                ProcessorId::new(i),
+                n,
+                t,
+                inputs[i],
+                std::sync::Arc::clone(&coins),
+            )
+        })
         .collect()
 }
 

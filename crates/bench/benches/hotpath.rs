@@ -1,0 +1,355 @@
+//! The message-hot-path suite: exact allocation counts and wall-clock
+//! medians for the paths the allocation overhaul targets, persisted to
+//! `BENCH_rtc.json` after every run so each PR can regress against the
+//! last (`cargo run -p rtc-bench --bin bench_check`).
+//!
+//! Three kinds of kernels:
+//!
+//! * **Allocation counts** (deterministic, CI-gated): a counting
+//!   `#[global_allocator]` measures exactly how many heap allocations
+//!   the coordinator's broadcast fan-out, a single message clone, and a
+//!   full synchronous commit run perform at a fixed seed. These are
+//!   exact machine-independent counts.
+//! * **Timings** (criterion, informational): ns/msg on the sync-commit
+//!   hot path, stage latency vs `n`, and chaos-campaign throughput.
+//!   Skipped in `--test` smoke mode.
+//! * **`pre_pr/` references**: the same kernels measured on the tree
+//!   *before* the allocation overhaul, frozen below so the improvement
+//!   is recorded in the bench output itself.
+//!
+//! Run with `cargo bench -p rtc-bench --bench hotpath`; the JSON lands
+//! at the repo root (override with `BENCH_RTC_PATH`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::Criterion;
+use rtc_bench::{BenchReport, Metric};
+use rtc_chaos::{run_campaign, CampaignConfig};
+use rtc_core::{CommitAutomaton, CommitConfig};
+use rtc_experiments::run_commit;
+use rtc_model::{Automaton, LocalClock, ProcessorId, SeedCollection, TimingParams, Value};
+use rtc_sim::adversaries::SynchronousAdversary;
+use rtc_sim::RunLimits;
+
+/// `System` wrapped in allocation counting. Counts every `alloc` and
+/// `realloc` call; frees are irrelevant to the metric (we count heap
+/// traffic, not leaks).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Exact number of heap allocations `f` performs (single-threaded
+/// kernels only; the counter is process-global).
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+/// The pre-overhaul measurements (commit 245f89f, this machine),
+/// frozen so every future `BENCH_rtc.json` records what this PR
+/// improved on. Layout: (name, value, unit, deterministic).
+const PRE_PR: &[(&str, f64, &str, bool)] = &[
+    ("alloc/fanout_step_total/n8", 13.0, "allocs/step", true),
+    (
+        "alloc/fanout_allocs_per_send/n8",
+        1.857,
+        "allocs/send",
+        true,
+    ),
+    ("alloc/fanout_step_total/n16", 22.0, "allocs/step", true),
+    (
+        "alloc/fanout_allocs_per_send/n16",
+        1.467,
+        "allocs/send",
+        true,
+    ),
+    ("alloc/fanout_step_total/n32", 39.0, "allocs/step", true),
+    (
+        "alloc/fanout_allocs_per_send/n32",
+        1.258,
+        "allocs/send",
+        true,
+    ),
+    ("alloc/msg_clone/n16", 1.0, "allocs/clone", true),
+    ("alloc/sync_commit_total/n16", 2292.0, "allocs/run", true),
+    (
+        "alloc/sync_commit_allocs_per_msg/n16",
+        2.465,
+        "allocs/msg",
+        true,
+    ),
+    ("time/sync_commit_ns_per_msg/n16", 695.958, "ns/msg", false),
+    ("time/sync_commit/n16", 647.241, "us/run", false),
+    ("time/stage_latency/n4", 29.873, "us/run", false),
+    ("time/stage_latency/n8", 132.932, "us/run", false),
+    ("time/stage_latency/n16", 632.929, "us/run", false),
+    ("time/stage_latency/n32", 3475.329, "us/run", false),
+    ("time/campaign_sim40_serial", 131.237, "ms", false),
+];
+
+fn cfg(n: usize) -> CommitConfig {
+    CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+}
+
+fn coordinator_rng(seed: u64) -> rtc_model::StepRng {
+    SeedCollection::new(seed).step_rng(ProcessorId::COORDINATOR, LocalClock::new(0))
+}
+
+/// Coordinator's first step: flip the coins and broadcast `GO` to all
+/// `n - 1` peers — the protocol's defining fan-out.
+fn measure_fanout(metrics: &mut Vec<Metric>) {
+    for n in [8usize, 16, 32] {
+        let config = cfg(n);
+        // Warm up once so lazy one-time allocations (hash seeds, etc.)
+        // don't pollute the count.
+        {
+            let mut auto = CommitAutomaton::new(config, ProcessorId::COORDINATOR, Value::One);
+            let mut rng = coordinator_rng(41);
+            let _ = auto.step(&[], &mut rng);
+        }
+        let mut auto = CommitAutomaton::new(config, ProcessorId::COORDINATOR, Value::One);
+        let mut rng = coordinator_rng(42);
+        let (allocs, sends) = count_allocs(|| auto.step(&[], &mut rng));
+        assert_eq!(sends.len(), n - 1, "GO reaches every peer");
+        metrics.push(Metric::exact(
+            format!("alloc/fanout_step_total/n{n}"),
+            allocs as f64,
+            "allocs/step",
+        ));
+        metrics.push(Metric::exact(
+            format!("alloc/fanout_allocs_per_send/n{n}"),
+            allocs as f64 / (n - 1) as f64,
+            "allocs/send",
+        ));
+    }
+}
+
+/// Cloning one fan-out message — what every channel send, delivery, and
+/// snapshot does with a `CommitMsg`. The paper's piggybacking makes
+/// this the most-executed copy in both substrates.
+fn measure_msg_clone(metrics: &mut Vec<Metric>) {
+    let config = cfg(16);
+    let mut auto = CommitAutomaton::new(config, ProcessorId::COORDINATOR, Value::One);
+    let mut rng = coordinator_rng(42);
+    let sends = auto.step(&[], &mut rng);
+    let msg = sends[0].msg.clone();
+    const REPS: u64 = 1024;
+    // Warm-up clone outside the counted region.
+    let warm = msg.clone();
+    drop(warm);
+    let (allocs, clones) = count_allocs(|| {
+        let mut clones = Vec::with_capacity(REPS as usize);
+        for _ in 0..REPS {
+            clones.push(msg.clone());
+        }
+        clones
+    });
+    drop(clones);
+    // Subtract the collection vector itself (one allocation).
+    let per_clone = allocs.saturating_sub(1) as f64 / REPS as f64;
+    metrics.push(Metric::exact(
+        "alloc/msg_clone/n16",
+        per_clone,
+        "allocs/clone",
+    ));
+}
+
+/// A full synchronous commit run at `n = 16`, allocations divided by
+/// messages sent: the whole-path cost including the simulator.
+fn measure_sync_commit(metrics: &mut Vec<Metric>) -> usize {
+    let config = cfg(16);
+    let votes = vec![Value::One; 16];
+    // Warm up.
+    {
+        let mut adv = SynchronousAdversary::new(16);
+        let _ = run_commit(config, &votes, 41, &mut adv, RunLimits::default());
+    }
+    let mut adv = SynchronousAdversary::new(16);
+    let (allocs, result) =
+        count_allocs(|| run_commit(config, &votes, 42, &mut adv, RunLimits::default()));
+    assert!(result.decided, "synchronous run decides");
+    metrics.push(Metric::exact(
+        "alloc/sync_commit_total/n16",
+        allocs as f64,
+        "allocs/run",
+    ));
+    metrics.push(Metric::exact(
+        "alloc/sync_commit_allocs_per_msg/n16",
+        allocs as f64 / result.messages as f64,
+        "allocs/msg",
+    ));
+    result.messages
+}
+
+fn campaign_cfg(schedules: u64) -> CampaignConfig {
+    CampaignConfig {
+        schedules,
+        seed: 0xBE9C_0FFE,
+        run_runtime: false,
+        shrink_violations: false,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Wall-clock kernels through the vendored criterion driver; their
+/// medians are collected via `criterion::take_records`.
+fn run_timings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(20);
+    group.bench_function("sync_commit/n16", |b| {
+        let config = cfg(16);
+        let votes = vec![Value::One; 16];
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut adv = SynchronousAdversary::new(16);
+            run_commit(config, &votes, seed, &mut adv, RunLimits::default())
+        });
+    });
+    for n in [4usize, 8, 16, 32] {
+        group.bench_function(format!("stage_latency/n{n}"), |b| {
+            let config = cfg(n);
+            let votes = vec![Value::One; n];
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut adv = SynchronousAdversary::new(n);
+                run_commit(config, &votes, seed, &mut adv, RunLimits::default())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(3);
+    group.bench_function("sim40_serial", |b| {
+        let cfg = CampaignConfig {
+            workers: 1,
+            ..campaign_cfg(40)
+        };
+        b.iter(|| {
+            let summary = run_campaign(&cfg);
+            assert!(summary.ok());
+            summary
+        });
+    });
+    // Same 40 schedules on the machine-sized worker pool. On a 1-core
+    // host this degenerates to the serial path; the per-PR trajectory
+    // on multi-core CI records the actual speedup.
+    group.bench_function("sim40_parallel", |b| {
+        let cfg = campaign_cfg(40);
+        b.iter(|| {
+            let summary = run_campaign(&cfg);
+            assert!(summary.ok());
+            summary
+        });
+    });
+    group.finish();
+}
+
+/// Converts the criterion records into `time/` metrics. `sync_commit`
+/// medians are additionally normalized to ns/msg using the message
+/// count of a representative run.
+fn timing_metrics(msgs_per_run: usize) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for rec in criterion::take_records() {
+        let ns = rec.median.as_nanos() as f64;
+        match rec.label.as_str() {
+            "hotpath/sync_commit/n16" => {
+                out.push(Metric::timing(
+                    "time/sync_commit_ns_per_msg/n16",
+                    ns / msgs_per_run as f64,
+                    "ns/msg",
+                ));
+                out.push(Metric::timing("time/sync_commit/n16", ns / 1e3, "us/run"));
+            }
+            label if label.starts_with("hotpath/stage_latency/") => {
+                let n = label.rsplit('/').next().unwrap_or("n0");
+                out.push(Metric::timing(
+                    format!("time/stage_latency/{n}"),
+                    ns / 1e3,
+                    "us/run",
+                ));
+            }
+            "campaign/sim40_serial" => {
+                out.push(Metric::timing("time/campaign_sim40_serial", ns / 1e6, "ms"));
+            }
+            "campaign/sim40_parallel" => {
+                out.push(Metric::timing(
+                    "time/campaign_sim40_parallel",
+                    ns / 1e6,
+                    "ms",
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut metrics = Vec::new();
+
+    measure_fanout(&mut metrics);
+    measure_msg_clone(&mut metrics);
+    let msgs_per_run = measure_sync_commit(&mut metrics);
+
+    if !smoke {
+        let mut criterion = Criterion::default();
+        run_timings(&mut criterion);
+        metrics.extend(timing_metrics(msgs_per_run));
+    }
+
+    for (name, value, unit, deterministic) in PRE_PR {
+        metrics.push(Metric {
+            name: format!("pre_pr/{name}"),
+            value: *value,
+            unit: (*unit).to_string(),
+            deterministic: *deterministic,
+        });
+    }
+
+    let report = BenchReport {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        metrics,
+    };
+    for m in &report.metrics {
+        println!(
+            "{:<44} {:>12} {}{}",
+            m.name,
+            format!("{:.3}", m.value),
+            m.unit,
+            if m.deterministic { "  [exact]" } else { "" }
+        );
+    }
+
+    let path = std::env::var("BENCH_RTC_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rtc.json").to_string()
+    });
+    std::fs::write(&path, report.to_json()).expect("write BENCH_rtc.json");
+    println!("\nwrote {path}");
+}

@@ -1,6 +1,360 @@
-//! Benchmark-only crate: see `benches/paper.rs` for the criterion
-//! targets, one per experiment in `EXPERIMENTS.md`.
+//! Benchmark harness support: the `BENCH_rtc.json` perf-trajectory
+//! format shared by the `hotpath` bench (writer) and the `bench_check`
+//! regression gate (reader/comparator).
 //!
-//! Run with `cargo bench -p rtc-bench`.
+//! Run the suite with `cargo bench -p rtc-bench`; the criterion targets
+//! live in `benches/` (one per experiment in `EXPERIMENTS.md`, plus the
+//! message-hot-path suite in `benches/hotpath.rs`).
+//!
+//! The format is deliberately tiny — a schema tag, a run mode, and a
+//! flat metric list — so it can be written and parsed here without a
+//! JSON dependency (the build environment is offline; see
+//! `vendor/README` context in the workspace manifest):
+//!
+//! ```json
+//! {
+//!   "schema": "rtc-bench-v1",
+//!   "mode": "full",
+//!   "metrics": [
+//!     {"name": "alloc/fanout_allocs_per_send/n16", "value": 1.19,
+//!      "unit": "allocs/send", "deterministic": true}
+//!   ]
+//! }
+//! ```
+//!
+//! Metrics are flagged `deterministic` when they are exact counts that
+//! cannot vary across machines (allocation counts for a fixed seed);
+//! wall-clock metrics are not, and the comparator only gates on them
+//! when explicitly asked (`bench_check --all`), so CI stays immune to
+//! runner noise while still catching real allocation regressions.
 
 #![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// The schema tag every `BENCH_rtc.json` starts with.
+pub const SCHEMA: &str = "rtc-bench-v1";
+
+/// One benchmark measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Hierarchical name, e.g. `alloc/fanout_allocs_per_send/n16`.
+    /// Names prefixed `pre_pr/` are the frozen pre-optimization
+    /// reference measurements this PR is compared against.
+    pub name: String,
+    /// The measured value; for every metric in this suite, lower is
+    /// better.
+    pub value: f64,
+    /// Human-readable unit, e.g. `allocs/send`, `ns/msg`, `ms`.
+    pub unit: String,
+    /// Whether the value is an exact machine-independent count (safe to
+    /// gate CI on) rather than a wall-clock sample.
+    pub deterministic: bool,
+}
+
+impl Metric {
+    /// A deterministic (exact-count) metric.
+    pub fn exact(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            deterministic: true,
+        }
+    }
+
+    /// A wall-clock (machine-dependent) metric.
+    pub fn timing(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            deterministic: false,
+        }
+    }
+}
+
+/// A full benchmark report: what `BENCH_rtc.json` holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// `"full"` for a real sampled run, `"smoke"` for a CI `--test`
+    /// pass (deterministic metrics only).
+    pub mode: String,
+    /// The measurements, in emission order.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \"deterministic\": {}}}{comma}",
+                m.name,
+                fmt_f64(m.value),
+                m.unit,
+                m.deterministic
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    ///
+    /// This is a reader for exactly the subset of JSON the writer
+    /// emits (flat string/number/bool fields, no escapes), not a
+    /// general JSON parser.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let schema = extract_str_field(text, "schema")
+            .ok_or_else(|| "missing \"schema\" field".to_string())?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let mode =
+            extract_str_field(text, "mode").ok_or_else(|| "missing \"mode\" field".to_string())?;
+        let mut metrics = Vec::new();
+        // Each metric object is emitted on one line; scan for them.
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !(line.starts_with('{') && line.contains("\"name\"")) {
+                continue;
+            }
+            let name = extract_str_field(line, "name")
+                .ok_or_else(|| format!("metric line missing name: {line}"))?;
+            let value = extract_raw_field(line, "value")
+                .and_then(|v| v.parse::<f64>().ok())
+                .ok_or_else(|| format!("metric {name}: bad value"))?;
+            let unit = extract_str_field(line, "unit")
+                .ok_or_else(|| format!("metric {name}: missing unit"))?;
+            let deterministic = extract_raw_field(line, "deterministic")
+                .and_then(|v| v.parse::<bool>().ok())
+                .ok_or_else(|| format!("metric {name}: bad deterministic flag"))?;
+            metrics.push(Metric {
+                name,
+                value,
+                unit,
+                deterministic,
+            });
+        }
+        Ok(BenchReport { mode, metrics })
+    }
+}
+
+/// Formats a float so the writer↔reader round trip is exact and the
+/// file stays diff-friendly (no exponent notation for our ranges).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v}");
+        if s.contains('e') || s.contains('E') {
+            format!("{v:.6}")
+        } else {
+            s
+        }
+    }
+}
+
+/// Extracts `"key": "value"` from a JSON fragment without escapes.
+fn extract_str_field(text: &str, key: &str) -> Option<String> {
+    let tagged = format!("\"{key}\":");
+    let rest = &text[text.find(&tagged)? + tagged.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the raw token after `"key":` (a number or boolean).
+fn extract_raw_field(text: &str, key: &str) -> Option<String> {
+    let tagged = format!("\"{key}\":");
+    let rest = &text[text.find(&tagged)? + tagged.len()..];
+    let token: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| !",}] \n".contains(*c))
+        .collect();
+    (!token.is_empty()).then_some(token)
+}
+
+/// One metric that regressed past the tolerance.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// The regressed metric's name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The relative increase, e.g. `0.4` for +40%.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} (+{:.1}% > tolerance)",
+            self.name,
+            fmt_f64(self.baseline),
+            fmt_f64(self.current),
+            self.ratio * 100.0
+        )
+    }
+}
+
+/// Compares `current` against `baseline`: any shared metric whose value
+/// grew by more than `tolerance` (relative, e.g. `0.25` for 25%) is a
+/// regression. Lower is better for every metric in this suite.
+///
+/// Only deterministic metrics gate by default; pass
+/// `include_timings = true` to also gate wall-clock metrics (meaningful
+/// only when both files come from the same machine). `pre_pr/` metrics
+/// are frozen historical references, never compared. Metrics present in
+/// only one file are ignored (adding a new benchmark is not a
+/// regression).
+pub fn regressions(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+    include_timings: bool,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in &baseline.metrics {
+        if base.name.starts_with("pre_pr/") {
+            continue;
+        }
+        if !base.deterministic && !include_timings {
+            continue;
+        }
+        let Some(cur) = current.get(&base.name) else {
+            continue;
+        };
+        // A zero baseline can only regress by becoming nonzero.
+        let ratio = if base.value == 0.0 {
+            if cur.value > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            (cur.value - base.value) / base.value
+        };
+        if ratio > tolerance {
+            out.push(Regression {
+                name: base.name.clone(),
+                baseline: base.value,
+                current: cur.value,
+                ratio,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            mode: "full".to_string(),
+            metrics: vec![
+                Metric::exact("alloc/fanout_allocs_per_send/n16", 1.25, "allocs/send"),
+                Metric::timing("time/sync_commit_ns_per_msg/n16", 812.5, "ns/msg"),
+                Metric::exact(
+                    "pre_pr/alloc/fanout_allocs_per_send/n16",
+                    16.0,
+                    "allocs/send",
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parser_rejects_wrong_schema() {
+        let text = sample().to_json().replace(SCHEMA, "rtc-bench-v0");
+        assert!(BenchReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn integral_values_round_trip() {
+        let report = BenchReport {
+            mode: "smoke".to_string(),
+            metrics: vec![Metric::exact("a", 3.0, "allocs")],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.metrics[0].value, 3.0);
+    }
+
+    #[test]
+    fn regression_detected_beyond_tolerance() {
+        let baseline = sample();
+        let mut current = sample();
+        current.metrics[0].value = 2.0; // +60% on a deterministic metric
+        let regs = regressions(&baseline, &current, 0.25, false);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "alloc/fanout_allocs_per_send/n16");
+        assert!(regs[0].ratio > 0.25);
+    }
+
+    #[test]
+    fn improvements_and_small_noise_pass() {
+        let baseline = sample();
+        let mut current = sample();
+        current.metrics[0].value = 1.0; // improvement
+        assert!(regressions(&baseline, &current, 0.25, false).is_empty());
+        current.metrics[0].value = 1.5; // +20%, inside tolerance
+        assert!(regressions(&baseline, &current, 0.25, false).is_empty());
+    }
+
+    #[test]
+    fn timings_gate_only_when_asked() {
+        let baseline = sample();
+        let mut current = sample();
+        current.metrics[1].value = 10_000.0;
+        assert!(regressions(&baseline, &current, 0.25, false).is_empty());
+        assert_eq!(regressions(&baseline, &current, 0.25, true).len(), 1);
+    }
+
+    #[test]
+    fn pre_pr_references_are_never_compared() {
+        let baseline = sample();
+        let mut current = sample();
+        current.metrics[2].value = 1e9;
+        assert!(regressions(&baseline, &current, 0.25, true).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_regresses_on_any_growth() {
+        let baseline = BenchReport {
+            mode: "full".to_string(),
+            metrics: vec![Metric::exact("alloc/msg_clone/n16", 0.0, "allocs/clone")],
+        };
+        let mut current = baseline.clone();
+        assert!(regressions(&baseline, &current, 0.25, false).is_empty());
+        current.metrics[0].value = 1.0;
+        assert_eq!(regressions(&baseline, &current, 0.25, false).len(), 1);
+    }
+}

@@ -5,8 +5,21 @@
 //! A campaign is identified by a single seed; schedule `i` of campaign
 //! `s` is always the same schedule, so any reported violation can be
 //! regenerated from `(s, i)` alone.
+//!
+//! # Parallel execution and the determinism contract
+//!
+//! Schedules are embarrassingly parallel: each is generated from
+//! `(seed, i)` alone and executed on substrates that share no state.
+//! [`run_campaign`] therefore partitions the index space across
+//! [`CampaignConfig::workers`] threads (worker `w` runs every `i` with
+//! `i % workers == w`) and merges the classified outcomes **in index
+//! order** afterwards, so the summary — counts, violation list, and
+//! shrunk reproducers — is bit-identical to a serial run regardless of
+//! worker count or thread interleaving.
 
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::thread;
 use std::time::Duration;
 
 use rtc_runtime::ClusterOptions;
@@ -36,6 +49,11 @@ pub struct CampaignConfig {
     pub run_runtime: bool,
     /// Shrink simulator violations to minimal reproducers.
     pub shrink_violations: bool,
+    /// Worker threads to spread schedules over: `0` sizes to the
+    /// machine (`available_parallelism`), `1` forces the serial path.
+    /// Any value classifies every schedule identically (see the module
+    /// docs' determinism contract).
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -53,6 +71,7 @@ impl Default for CampaignConfig {
             run_sim: true,
             run_runtime: true,
             shrink_violations: true,
+            workers: 0,
         }
     }
 }
@@ -149,28 +168,84 @@ fn record(
     }
 }
 
+/// One schedule's classified outcomes, produced by a worker and merged
+/// into the summary in index order.
+type ScheduleOutcomes = (u64, ChaosSchedule, Vec<(Substrate, ChaosOutcome)>);
+
+/// Generates and executes schedule `i`, classifying each substrate run
+/// in the same order the serial driver uses (sim, then runtime).
+fn execute_schedule(cfg: &CampaignConfig, i: u64) -> ScheduleOutcomes {
+    let schedule = ChaosSchedule::generate(&cfg.params, cfg.seed, i);
+    let mut outcomes = Vec::with_capacity(2);
+    if cfg.run_sim {
+        let rep = run_on_sim(&schedule, cfg.sim_max_events);
+        outcomes.push((Substrate::Sim, rep.outcome));
+    }
+    if cfg.run_runtime {
+        let (rep, _) = run_on_runtime(&schedule, cfg.cluster);
+        outcomes.push((Substrate::Runtime, rep.outcome));
+    }
+    (i, schedule, outcomes)
+}
+
+/// The effective worker count for a campaign: the configured value,
+/// sized to the machine when 0, never more than one per schedule.
+fn effective_workers(cfg: &CampaignConfig) -> usize {
+    let configured = if cfg.workers == 0 {
+        thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    } else {
+        cfg.workers
+    };
+    configured.max(1).min(cfg.schedules.max(1) as usize)
+}
+
 /// Runs a full campaign and returns the aggregate summary.
+///
+/// Outcome classification, violation records, and shrunk reproducers
+/// are bit-identical for every worker count (including the serial
+/// `workers: 1` path): execution is partitioned by schedule index and
+/// merged back in index order, and shrinking — itself deterministic —
+/// happens at merge time on the single merging thread.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let mut summary = CampaignSummary {
         schedules: cfg.schedules,
         ..CampaignSummary::default()
     };
-    for i in 0..cfg.schedules {
-        let schedule = ChaosSchedule::generate(&cfg.params, cfg.seed, i);
-        if cfg.run_sim {
-            let rep = run_on_sim(&schedule, cfg.sim_max_events);
-            record(&mut summary, cfg, i, &schedule, Substrate::Sim, rep.outcome);
+    let workers = effective_workers(cfg);
+    let mut results: Vec<Option<ScheduleOutcomes>> = Vec::new();
+    if workers <= 1 {
+        for i in 0..cfg.schedules {
+            results.push(Some(execute_schedule(cfg, i)));
         }
-        if cfg.run_runtime {
-            let (rep, _) = run_on_runtime(&schedule, cfg.cluster);
-            record(
-                &mut summary,
-                cfg,
-                i,
-                &schedule,
-                Substrate::Runtime,
-                rep.outcome,
-            );
+    } else {
+        results.resize_with(cfg.schedules as usize, || None);
+        let per_worker = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        (w as u64..cfg.schedules)
+                            .step_by(workers)
+                            .map(|i| execute_schedule(cfg, i))
+                            .collect::<Vec<ScheduleOutcomes>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for chunk in per_worker {
+            for item in chunk {
+                let slot = item.0 as usize;
+                results[slot] = Some(item);
+            }
+        }
+    }
+    for item in results {
+        let (i, schedule, outcomes) = item.expect("every schedule index executed");
+        for (substrate, outcome) in outcomes {
+            record(&mut summary, cfg, i, &schedule, substrate, outcome);
         }
     }
     summary
@@ -194,6 +269,40 @@ mod tests {
             summary.sim_decided + summary.runtime_decided > 0,
             "a healthy campaign decides at least sometimes: {summary}"
         );
+    }
+
+    /// The determinism contract: every worker count yields the same
+    /// classification of every schedule, hence an identical summary.
+    #[test]
+    fn worker_count_does_not_change_the_summary() {
+        let base = CampaignConfig {
+            schedules: 12,
+            seed: 0xBEEF,
+            run_runtime: false,
+            ..CampaignConfig::default()
+        };
+        let serial = run_campaign(&CampaignConfig { workers: 1, ..base });
+        for workers in [2usize, 3, 5, 8] {
+            let parallel = run_campaign(&CampaignConfig { workers, ..base });
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "workers = {workers} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn more_workers_than_schedules_is_fine() {
+        let cfg = CampaignConfig {
+            schedules: 3,
+            seed: 11,
+            run_runtime: false,
+            workers: 64,
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&cfg);
+        assert_eq!(summary.sim_decided + summary.sim_stalled, 3);
     }
 
     #[test]

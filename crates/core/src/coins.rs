@@ -9,29 +9,35 @@
 //! with probability at least 1/2 instead of `2^-n`.
 
 use std::fmt;
-use std::sync::Arc;
 
 use rtc_model::{StepRng, Value};
 
-/// An immutable, cheaply clonable list of shared coin flips.
+/// An immutable list of shared coin flips.
 ///
-/// Cloning is `O(1)` (the list is reference-counted), which keeps the
-/// piggybacked `GO` on every message affordable.
+/// The list itself is a flat owned buffer; sharing happens one level
+/// up, via `Arc<CoinList>` — the coordinator flips once, and every
+/// piggybacked `GO` is a reference-count bump on that single
+/// allocation (no nested `Arc<Arc<[_]>>` indirection on the lookup
+/// path). Cloning a bare `CoinList` copies the flips and is meant for
+/// construction-time plumbing only; the protocol hot path never does
+/// it.
 ///
 /// # Example
 ///
 /// ```
+/// use std::sync::Arc;
 /// use rtc_core::CoinList;
 /// use rtc_model::{SeedCollection, ProcessorId, LocalClock};
 ///
 /// let mut rng = SeedCollection::new(7).step_rng(ProcessorId::COORDINATOR, LocalClock::ZERO);
-/// let coins = CoinList::flip(8, &mut rng);
-/// assert_eq!(coins.len(), 8);
-/// assert_eq!(coins.get(1), coins.get(1)); // deterministic lookups
+/// let coins = Arc::new(CoinList::flip(8, &mut rng));
+/// let shared = Arc::clone(&coins); // what piggybacking costs
+/// assert_eq!(shared.len(), 8);
+/// assert_eq!(coins.get(1), shared.get(1)); // deterministic lookups
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct CoinList {
-    flips: Arc<[Value]>,
+    flips: Box<[Value]>,
 }
 
 impl CoinList {
@@ -117,9 +123,10 @@ mod tests {
     }
 
     #[test]
-    fn clones_share_storage() {
-        let a = CoinList::flip(64, &mut rng());
-        let b = a.clone();
+    fn arc_sharing_is_by_reference() {
+        let a = std::sync::Arc::new(CoinList::flip(64, &mut rng()));
+        let b = std::sync::Arc::clone(&a);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
         assert_eq!(a, b);
     }
 

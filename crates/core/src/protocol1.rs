@@ -27,6 +27,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rtc_model::{Automaton, Delivery, ProcessorId, Send, Status, StepRng, Value};
 
@@ -87,7 +88,7 @@ pub struct Agreement {
     id: ProcessorId,
     n: usize,
     t: usize,
-    coins: CoinList,
+    coins: Arc<CoinList>,
     x: Value,
     stage: u64,
     waiting: Waiting,
@@ -102,11 +103,23 @@ impl Agreement {
     /// Creates the machine for processor `id` of a population of `n`
     /// with fault bound `t`, input `x`, and shared `coins`.
     ///
+    /// The coins are taken as anything convertible to `Arc<CoinList>`:
+    /// pass a bare `CoinList` for a standalone machine, or an
+    /// `Arc<CoinList>` clone to share one flip allocation across a
+    /// whole population (what Protocol 2's piggybacking does).
+    ///
     /// # Panics
     ///
     /// Panics unless `n > 2t` (the protocol's standing assumption in
     /// Section 3) and `id < n`.
-    pub fn new(id: ProcessorId, n: usize, t: usize, x: Value, coins: CoinList) -> Agreement {
+    pub fn new(
+        id: ProcessorId,
+        n: usize,
+        t: usize,
+        x: Value,
+        coins: impl Into<Arc<CoinList>>,
+    ) -> Agreement {
+        let coins = coins.into();
         assert!(n > 2 * t, "protocol 1 requires n > 2t (n = {n}, t = {t})");
         assert!(id.index() < n, "processor id out of range");
         Agreement {
@@ -346,8 +359,10 @@ impl fmt::Debug for Agreement {
 /// The wire format of [`AgreementAutomaton`]: all the Protocol 1
 /// messages a processor emits at one step, bundled so that each
 /// destination receives at most one message per step (the model's
-/// one-message-per-destination rule).
-pub type AgreementBundle = Vec<AgreementMsg>;
+/// one-message-per-destination rule). The bundle is an immutable
+/// shared slice: one allocation per broadcast, a reference-count bump
+/// per destination.
+pub type AgreementBundle = Arc<[AgreementMsg]>;
 
 /// Protocol 1 as a standalone automaton solving the agreement problem.
 ///
@@ -370,7 +385,7 @@ impl AgreementAutomaton {
         n: usize,
         t: usize,
         x: Value,
-        coins: CoinList,
+        coins: impl Into<Arc<CoinList>>,
     ) -> AgreementAutomaton {
         AgreementAutomaton {
             inner: Agreement::new(id, n, t, x, coins),
@@ -387,9 +402,11 @@ impl AgreementAutomaton {
         if msgs.is_empty() {
             return Vec::new();
         }
+        // One immutable bundle shared by every destination.
+        let bundle: AgreementBundle = msgs.into();
         ProcessorId::all(self.n)
             .filter(|q| *q != self.inner.id)
-            .map(|q| Send::new(q, msgs.clone()))
+            .map(|q| Send::new(q, Arc::clone(&bundle)))
             .collect()
     }
 }
@@ -408,7 +425,7 @@ impl Automaton for AgreementAutomaton {
     ) -> Vec<Send<AgreementBundle>> {
         let mut broadcasts = self.inner.start();
         for d in delivered {
-            for msg in &d.msg {
+            for msg in d.msg.iter() {
                 self.inner.ingest(d.from, *msg);
             }
         }
@@ -469,8 +486,9 @@ mod tests {
     }
 
     fn population(n: usize, t: usize, inputs: &[Value], cl: CoinList) -> Vec<Agreement> {
+        let cl = Arc::new(cl);
         (0..n)
-            .map(|i| Agreement::new(ProcessorId::new(i), n, t, inputs[i], cl.clone()))
+            .map(|i| Agreement::new(ProcessorId::new(i), n, t, inputs[i], Arc::clone(&cl)))
             .collect()
     }
 

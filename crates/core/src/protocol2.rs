@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use rtc_model::{
     Automaton, Decision, Delivery, ProcessorId, Recoverable, Send, Status, StepRng, Value,
@@ -59,14 +60,20 @@ pub enum CommitKind {
 /// A Protocol 2 message: the payloads a processor emits at one step
 /// (bundled so each destination gets at most one message per step, per
 /// the model), plus the piggybacked `GO`.
+///
+/// Both fields are immutable shared views: the coin list the
+/// coordinator flipped once, and the kind bundle built once per
+/// broadcast. Cloning a `CommitMsg` — what every channel send,
+/// delivery, and snapshot does — is two reference-count bumps, no heap
+/// allocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommitMsg {
     /// The piggybacked coins (`Some` on every message a processor sends
     /// after learning them — which is every message it can send at all,
     /// except the coordinator-less corner where coins are unknown).
-    pub go: Option<CoinList>,
+    pub go: Option<Arc<CoinList>>,
     /// The payloads.
-    pub kinds: Vec<CommitKind>,
+    pub kinds: Arc<[CommitKind]>,
 }
 
 /// Which instruction window of Protocol 2 the processor is in.
@@ -113,7 +120,7 @@ pub struct CommitAutomaton {
     clock: u64,
     vote: Value,
     initval: Value,
-    coins: Option<CoinList>,
+    coins: Option<Arc<CoinList>>,
     phase: CommitPhase,
     go_senders: HashSet<ProcessorId>,
     go_wait_start: Option<u64>,
@@ -236,11 +243,13 @@ impl CommitAutomaton {
 
     fn ingest(&mut self, d: &Delivery<CommitMsg>) {
         if let Some(coins) = &d.msg.go {
-            // Any message carrying coins doubles as a GO from its sender.
-            self.coins.get_or_insert_with(|| coins.clone());
+            // Any message carrying coins doubles as a GO from its sender;
+            // adopting them is a reference-count bump on the
+            // coordinator's single flip allocation.
+            self.coins.get_or_insert_with(|| Arc::clone(coins));
             self.go_senders.insert(d.from);
         }
-        for kind in &d.msg.kinds {
+        for kind in d.msg.kinds.iter() {
             match kind {
                 CommitKind::Go => {}
                 CommitKind::Vote(v) => {
@@ -307,7 +316,7 @@ impl CommitAutomaton {
                 CommitPhase::AwaitGo => {
                     if self.id.is_coordinator() && self.coins.is_none() {
                         // Instruction 1: flip the coins and broadcast GO.
-                        self.coins = Some(CoinList::flip(self.cfg.coin_count(), rng));
+                        self.coins = Some(Arc::new(CoinList::flip(self.cfg.coin_count(), rng)));
                     }
                     if self.coins.is_some() {
                         // Instruction 3: relay GO (the coordinator's
@@ -463,27 +472,38 @@ impl Automaton for CommitAutomaton {
             return Vec::new();
         }
         // The paper piggybacks GO on every message; the ablation switch
-        // restricts the coins to explicit GO messages only.
+        // restricts the coins to explicit GO messages only. Either way
+        // the coins are shared, not copied.
         let go = if self.cfg.piggyback_go() || kinds.contains(&CommitKind::Go) {
             self.coins.clone()
         } else {
             None
         };
+        // Build at most two immutable bundles for the whole fan-out —
+        // the broadcast body, and (when pingers need a catch-up reply
+        // that is not already in it) the body extended with `Decided` —
+        // then share them across destinations by reference count. No
+        // per-destination allocation.
         let decided = self.decided;
+        let reply_kind = decided
+            .filter(|v| !replies.is_empty() && !kinds.contains(&CommitKind::Decided(*v)))
+            .map(CommitKind::Decided);
+        let base: Arc<[CommitKind]> = kinds.into();
+        let extended: Arc<[CommitKind]> = match reply_kind {
+            Some(k) => base.iter().cloned().chain(std::iter::once(k)).collect(),
+            None => Arc::clone(&base),
+        };
         let n = self.cfg.population();
         ProcessorId::all(n)
             .filter(|q| *q != self.id)
             .filter_map(|q| {
                 // At most one message per destination per step: the
                 // pinger's catch-up reply rides the broadcast bundle.
-                let mut dest_kinds = kinds.clone();
-                if replies.contains(&q) {
-                    if let Some(v) = decided {
-                        if !dest_kinds.contains(&CommitKind::Decided(v)) {
-                            dest_kinds.push(CommitKind::Decided(v));
-                        }
-                    }
-                }
+                let dest_kinds = if replies.contains(&q) {
+                    Arc::clone(&extended)
+                } else {
+                    Arc::clone(&base)
+                };
                 if dest_kinds.is_empty() {
                     return None;
                 }
@@ -867,7 +887,7 @@ mod tests {
         assert!(!sends.is_empty(), "the observer still pings");
         for s in &sends {
             assert!(s.msg.go.is_none(), "no coins may be flooded: {s:?}");
-            assert_eq!(s.msg.kinds, vec![CommitKind::Ping], "ping only: {s:?}");
+            assert_eq!(s.msg.kinds[..], [CommitKind::Ping], "ping only: {s:?}");
         }
         assert!(!observer.has_coins());
     }

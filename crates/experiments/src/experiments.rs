@@ -14,6 +14,7 @@ use rtc_sim::adversaries::{
 };
 use rtc_sim::{RunLimits, SimBuilder};
 
+use crate::par::par_seed_map;
 use crate::stats::{rate, Summary};
 use crate::table::{ExperimentResult, Table};
 use crate::workloads::{mixed_votes, run_commit};
@@ -80,20 +81,17 @@ pub fn t1_stages(effort: Effort) -> ExperimentResult {
         let c = cfg(n);
         let votes = mixed_votes(n, 0); // unanimity exercises the commit path;
                                        // stage pressure comes from scheduling
-        let mut stages = Vec::new();
-        for seed in 0..trials as u64 {
+        let stages: Vec<u64> = par_seed_map(trials as u64, |seed| {
             let mut adv = RandomAdversary::new(seed ^ 0x51).deliver_prob(0.6);
-            let r = run_commit(c, &votes, seed, &mut adv, RunLimits::default());
-            if let Some(s) = r.max_stage {
-                stages.push(s);
-            }
-        }
-        let mut wc = Vec::new();
-        for seed in 0..trials.min(50) as u64 {
+            run_commit(c, &votes, seed, &mut adv, RunLimits::default()).max_stage
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let wc: Vec<u64> = par_seed_map(trials.min(50) as u64, |seed| {
             let coins = dealer_coins(512, seed);
-            let out = worst_case_stages(n, CommitConfig::max_tolerated(n), coins, seed, 512);
-            wc.push(out.stages);
-        }
+            worst_case_stages(n, CommitConfig::max_tolerated(n), coins, seed, 512).stages
+        });
         let (mean, p95, max) = fmt_opt(Summary::of_u64(&stages));
         let wc_mean = Summary::of_u64(&wc).map_or("n/a".into(), |s| format!("{:.2}", s.mean));
         table.row(vec![
@@ -137,7 +135,7 @@ pub fn t2_rounds(effort: Effort) -> ExperimentResult {
     ]);
     for n in effort.populations(&[4, 8, 16]) {
         let c = cfg(n);
-        type MakeAdversary = Box<dyn Fn(u64) -> Box<dyn rtc_sim::Adversary>>;
+        type MakeAdversary = Box<dyn Fn(u64) -> Box<dyn rtc_sim::Adversary> + Sync>;
         let kinds: Vec<(&str, MakeAdversary)> = vec![
             (
                 "synchronous, delay K",
@@ -153,20 +151,14 @@ pub fn t2_rounds(effort: Effort) -> ExperimentResult {
             ),
         ];
         for (label, make) in &kinds {
-            let mut rounds = Vec::new();
-            for seed in 0..trials as u64 {
+            let votes = vec![Value::One; n];
+            let rounds: Vec<u64> = par_seed_map(trials as u64, |seed| {
                 let mut adv = make(seed);
-                let r = run_commit(
-                    c,
-                    &vec![Value::One; n],
-                    seed,
-                    adv.as_mut(),
-                    RunLimits::default(),
-                );
-                if let Some(dr) = r.done_round {
-                    rounds.push(dr);
-                }
-            }
+                run_commit(c, &votes, seed, adv.as_mut(), RunLimits::default()).done_round
+            })
+            .into_iter()
+            .flatten()
+            .collect();
             let (mean, p95, max) = fmt_opt(Summary::of_u64(&rounds));
             table.row(vec![
                 n.to_string(),
@@ -481,17 +473,13 @@ pub fn t7_commit(effort: Effort) -> ExperimentResult {
     let mut table = Table::new(vec!["n", "trials", "violations", "all committed"]);
     for n in effort.populations(&[3, 5, 9, 17]) {
         let c = cfg(n);
+        let votes = vec![Value::One; n];
         let mut violations = 0usize;
         let mut committed = 0usize;
-        for seed in 0..trials as u64 {
+        for r in par_seed_map(trials as u64, |seed| {
             let mut adv = SynchronousAdversary::new(n);
-            let r = run_commit(
-                c,
-                &vec![Value::One; n],
-                seed,
-                &mut adv,
-                RunLimits::default(),
-            );
+            run_commit(c, &votes, seed, &mut adv, RunLimits::default())
+        }) {
             if !r.verdict_ok {
                 violations += 1;
             }
@@ -532,12 +520,14 @@ pub fn f1_benor(effort: Effort) -> ExperimentResult {
     ]);
     for n in effort.populations(&[3, 5, 7, 9, 11]) {
         let t = CommitConfig::max_tolerated(n);
-        let mut benor = Vec::new();
-        let mut shared = Vec::new();
-        for seed in 0..trials as u64 {
-            benor.push(worst_case_stages(n, t, CoinList::from_values(vec![]), seed, cap).stages);
-            shared.push(worst_case_stages(n, t, dealer_coins(512, seed), seed, cap).stages);
-        }
+        let (benor, shared): (Vec<u64>, Vec<u64>) = par_seed_map(trials as u64, |seed| {
+            (
+                worst_case_stages(n, t, CoinList::from_values(vec![]), seed, cap).stages,
+                worst_case_stages(n, t, dealer_coins(512, seed), seed, cap).stages,
+            )
+        })
+        .into_iter()
+        .unzip();
         let b = Summary::of_u64(&benor).expect("nonempty");
         let s = Summary::of_u64(&shared).expect("nonempty");
         table.row(vec![

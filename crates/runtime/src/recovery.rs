@@ -288,7 +288,7 @@ where
 
     // Monitor: fire due restarts, stop when everyone owing a decision
     // has one, give up at the wall timeout.
-    let mut pending: Vec<RestartAt> = faults.restarts.clone();
+    let mut pending: Vec<RestartAt> = faults.restarts;
     pending.sort_by_key(|r| r.at);
     let mut recovered = vec![false; n];
     let mut decided_in_time = false;

@@ -1,7 +1,6 @@
 //! The discrete-event engine: applies adversary-chosen events to a
 //! population of automata, enforcing the model's rules.
 
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -294,6 +293,7 @@ impl SimBuilder {
             next_msg: 0,
             crashes_used: 0,
             trace: Trace::new(n),
+            dest_seen: vec![false; n],
         })
     }
 }
@@ -317,6 +317,9 @@ pub struct Sim<A: Automaton> {
     next_msg: u64,
     crashes_used: usize,
     trace: Trace,
+    /// Scratch for the one-message-per-destination check, reused across
+    /// steps so the fan-out validation costs no allocation.
+    dest_seen: Vec<bool>,
 }
 
 impl<A: Automaton> fmt::Debug for Sim<A> {
@@ -508,14 +511,14 @@ impl<A: Automaton> Sim<A> {
         self.clocks[i] = self.clocks[i].tick();
         let clock_after = self.clocks[i];
         // Validate one-message-per-destination and enqueue.
-        let mut dests: HashSet<ProcessorId> = HashSet::with_capacity(outs.len());
+        self.dest_seen.fill(false);
         let mut sent_ids = Vec::with_capacity(outs.len());
         for out in outs {
-            if !dests.insert(out.to) {
-                return Err(SimError::DuplicateDestination { p, to: out.to });
-            }
             if out.to.index() >= self.autos.len() {
                 return Err(SimError::UnknownProcessor { p: out.to });
+            }
+            if std::mem::replace(&mut self.dest_seen[out.to.index()], true) {
+                return Err(SimError::DuplicateDestination { p, to: out.to });
             }
             let id = MsgId(self.next_msg);
             self.next_msg += 1;

@@ -386,7 +386,7 @@ mod tests {
         ];
         let replicas = run_batch(4, &initial, &batch, 5);
         let expected = {
-            let mut s = initial.clone();
+            let mut s = initial;
             s.apply(&batch[0]);
             s.apply(&batch[1]);
             s
@@ -491,13 +491,8 @@ mod tests {
         ];
         let replicas = run_batch(4, &initial, &batch, 11);
         let original = &replicas[2];
-        let recovered = Replica::recover(
-            cfg(4),
-            ProcessorId::new(2),
-            initial.clone(),
-            &batch,
-            original.wal(),
-        );
+        let recovered =
+            Replica::recover(cfg(4), ProcessorId::new(2), initial, &batch, original.wal());
         assert_eq!(recovered.outcomes(), original.outcomes());
         assert_eq!(recovered.store(), original.store());
         assert!(

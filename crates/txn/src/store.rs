@@ -241,8 +241,7 @@ mod tests {
         let a = Transaction::new(1, vec![Op::put("x", 1)]);
         let b = Transaction::new(2, vec![Op::put("x", 2)]);
         // Insert b first; rebuild must still apply tx1 before tx2.
-        let committed: BTreeMap<TxId, Transaction> =
-            [(b.id, b.clone()), (a.id, a.clone())].into_iter().collect();
+        let committed: BTreeMap<TxId, Transaction> = [(b.id, b), (a.id, a)].into_iter().collect();
         assert_eq!(Store::rebuild(&initial, &committed).get("x"), 2);
     }
 }

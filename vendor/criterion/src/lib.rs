@@ -14,12 +14,35 @@
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value sink preventing the optimizer from deleting the
 /// benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// The timing summary of one finished benchmark target, for harnesses
+/// that post-process results (e.g. `rtc-bench`'s `BENCH_rtc.json`
+/// emitter). Real criterion persists these under `target/criterion/`;
+/// this stand-in keeps them in memory instead.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// The full target label (`group/target` or the bare target name).
+    pub label: String,
+    /// Median wall-clock duration of one sample.
+    pub median: Duration,
+    /// How many samples were collected (0 in `--test` smoke mode).
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains the records of every benchmark target finished so far, in
+/// execution order. Smoke-mode (`--test`) targets record a zero median.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("bench record registry poisoned"))
 }
 
 /// Top-level benchmark driver, parameterised by CLI flags.
@@ -156,6 +179,14 @@ fn run_target<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, sample_size:
         // Smoke run: execute the routine once and report nothing.
         f(&mut b);
         println!("Testing {label} ... ok");
+        RECORDS
+            .lock()
+            .expect("bench record registry poisoned")
+            .push(BenchRecord {
+                label: label.to_string(),
+                median: Duration::ZERO,
+                samples: 0,
+            });
         return;
     }
     for _ in 0..sample_size {
@@ -168,6 +199,14 @@ fn run_target<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, sample_size:
         .copied()
         .unwrap_or_default();
     println!("{label:<60} median {median:?} ({sample_size} samples)");
+    RECORDS
+        .lock()
+        .expect("bench record registry poisoned")
+        .push(BenchRecord {
+            label: label.to_string(),
+            median,
+            samples: sample_size,
+        });
 }
 
 /// Declares a group of benchmark targets, mirroring criterion's

@@ -529,7 +529,7 @@ mod tests {
                 idx
             }),
         ) {
-            let mut sorted = idx.clone();
+            let mut sorted = idx;
             sorted.sort_unstable();
             prop_assert_eq!(sorted, (0..8).collect::<Vec<_>>());
         }
