@@ -1,0 +1,195 @@
+//! Diagnostics and report rendering (human and JSON).
+
+use std::fmt::Write as _;
+
+/// One finding of one rule.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The rule that produced the finding.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of the violation.
+    pub message: String,
+    /// The raw source line, for context.
+    pub snippet: String,
+    /// `Some(reason)` when an `rtc-allow` suppression matched.
+    pub suppressed: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an unsuppressed diagnostic.
+    pub fn new(
+        rule: &'static str,
+        file: &str,
+        line: usize,
+        message: String,
+        snippet: &str,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_owned(),
+            line,
+            message,
+            snippet: snippet.trim().to_owned(),
+            suppressed: None,
+        }
+    }
+}
+
+/// The outcome of an engine run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every diagnostic, suppressed ones included, sorted by
+    /// `(file, line, rule)` for deterministic output.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// Which rules ran.
+    pub rules_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// The findings that count against `--deny`: not suppressed.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_none())
+    }
+
+    /// Number of unsuppressed findings.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of suppressed findings.
+    pub fn suppressed_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether the tree is clean under deny mode.
+    pub fn clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match &d.suppressed {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "error[{}]: {}\n  --> {}:{}\n   | {}",
+                        d.rule, d.message, d.file, d.line, d.snippet
+                    );
+                }
+                Some(reason) if verbose => {
+                    let _ = writeln!(
+                        out,
+                        "allowed[{}]: {} ({})\n  --> {}:{}",
+                        d.rule, d.message, reason, d.file, d.line
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "rtc-analysis: {} file(s), {} rule(s), {} error(s), {} suppressed",
+            self.files_scanned,
+            self.rules_run.len(),
+            self.error_count(),
+            self.suppressed_count()
+        );
+        out
+    }
+
+    /// Renders the machine-readable (SARIF-ish) JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"rtc-analysis-v1\",\n");
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"files\": {}, \"rules\": {}, \"errors\": {}, \"suppressed\": {}}},",
+            self.files_scanned,
+            self.rules_run.len(),
+            self.error_count(),
+            self.suppressed_count()
+        );
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"level\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}{}}}",
+                json_str(d.rule),
+                json_str(if d.suppressed.is_some() {
+                    "allowed"
+                } else {
+                    "error"
+                }),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message),
+                json_str(&d.snippet),
+                match &d.suppressed {
+                    Some(r) => format!(", \"reason\": {}", json_str(r)),
+                    None => String::new(),
+                }
+            );
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let mut r = Report {
+            files_scanned: 1,
+            rules_run: vec!["wall-clock"],
+            ..Report::default()
+        };
+        r.diagnostics.push(Diagnostic::new(
+            "wall-clock",
+            "src/a.rs",
+            3,
+            "say \"no\"".into(),
+            "let t = Instant::now();",
+        ));
+        let json = r.render_json();
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(!r.clean());
+    }
+}

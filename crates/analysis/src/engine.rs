@@ -1,0 +1,195 @@
+//! Workspace discovery, rule execution, and `rtc-allow` suppressions.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Report;
+use crate::rules::{all_rules, Rule};
+use crate::source::ScanFile;
+
+/// The loaded workspace: every production source file, preprocessed.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// The preprocessed files.
+    pub files: Vec<ScanFile>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`: `src/` of the root package
+    /// and of every `crates/*` member. `vendor/` (offline stand-ins),
+    /// `target/`, and test/bench/example trees are out of scope — the
+    /// rules guard production protocol paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory walks and file reads.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files: Vec<io::Result<ScanFile>> = Vec::new();
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, &mut |p| files.push(load_file(root, "rtc", p)))?;
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            members.sort();
+            for member in members {
+                let name = crate_name(&member).unwrap_or_else(|| {
+                    member
+                        .file_name()
+                        .unwrap_or_default()
+                        .to_string_lossy()
+                        .into_owned()
+                });
+                let src = member.join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut |p| files.push(load_file(root, &name, p)))?;
+                }
+            }
+        }
+        let mut files: Vec<ScanFile> = files.into_iter().collect::<io::Result<Vec<_>>>()?;
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Ok(Workspace { files })
+    }
+
+    /// Builds a workspace directly from preprocessed files (fixtures).
+    pub fn from_files(files: Vec<ScanFile>) -> Workspace {
+        Workspace { files }
+    }
+
+    /// Looks a file up by workspace-relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&ScanFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+fn load_file(root: &Path, crate_name: &str, path: &Path) -> io::Result<ScanFile> {
+    let content = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(ScanFile::parse(crate_name, &rel, &content))
+}
+
+fn collect_rs(dir: &Path, f: &mut impl FnMut(&Path)) -> io::Result<()> {
+    let mut stack = vec![dir.to_path_buf()];
+    let mut found = Vec::new();
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    for path in found {
+        f(&path);
+    }
+    Ok(())
+}
+
+/// Reads the `name = "..."` from a member's `Cargo.toml`.
+fn crate_name(member: &Path) -> Option<String> {
+    let manifest = fs::read_to_string(member.join("Cargo.toml")).ok()?;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start().strip_prefix('=')?.trim();
+            return Some(rest.trim_matches('"').to_owned());
+        }
+    }
+    None
+}
+
+/// Runs `rules` (or the full catalog when empty) over the workspace,
+/// applying `rtc-allow` suppressions, and returns the sorted report.
+pub fn run(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
+    let catalog;
+    let rules = if rules.is_empty() {
+        catalog = all_rules();
+        &catalog
+    } else {
+        rules
+    };
+    let mut diagnostics = Vec::new();
+    for rule in rules {
+        for mut d in rule.check(ws) {
+            d.suppressed = ws
+                .file(&d.file)
+                .and_then(|f| suppression(f, d.rule, d.line));
+            diagnostics.push(d);
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Report {
+        diagnostics,
+        files_scanned: ws.files.len(),
+        rules_run: rules.iter().map(|r| r.name()).collect(),
+    }
+}
+
+/// Looks for `// rtc-allow(rule): reason` on the diagnostic's line or on
+/// one of up to two immediately preceding comment lines. Returns the
+/// reason when a suppression matches.
+fn suppression(file: &ScanFile, rule: &str, line: usize) -> Option<String> {
+    let needle = format!("rtc-allow({rule})");
+    let hit = |raw: &str| -> Option<String> {
+        let pos = raw.find(&needle)?;
+        let rest = &raw[pos + needle.len()..];
+        let reason = rest.trim_start_matches(':').trim();
+        Some(if reason.is_empty() {
+            "no reason given".to_owned()
+        } else {
+            reason.to_owned()
+        })
+    };
+    // Same line first.
+    if let Some(r) = file.raw.get(line.saturating_sub(1)).and_then(|l| hit(l)) {
+        return Some(r);
+    }
+    // Preceding lines, as long as they are comments.
+    for back in 1..=2usize {
+        let idx = line.checked_sub(1 + back)?;
+        let raw = file.raw.get(idx)?;
+        if !raw.trim_start().starts_with("//") {
+            break;
+        }
+        if let Some(r) = hit(raw) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_matches_same_and_preceding_line() {
+        let f = ScanFile::parse(
+            "rtc-core",
+            "crates/core/src/x.rs",
+            "// rtc-allow(wall-clock): benign here\nlet t = 1;\nlet u = 2; // rtc-allow(panic-path): contract\n",
+        );
+        assert_eq!(
+            suppression(&f, "wall-clock", 2).as_deref(),
+            Some("benign here")
+        );
+        assert_eq!(
+            suppression(&f, "panic-path", 3).as_deref(),
+            Some("contract")
+        );
+        assert!(suppression(&f, "unordered-iter", 2).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Rule `alloc-in-fanout`: per-destination allocation in broadcast
+//! fan-out.
+//!
+//! PR 2 made every broadcast build at most one immutable bundle and
+//! share it across destinations by reference count (`Arc<[..]>`); this
+//! rule keeps it that way. Inside a fan-out region — the statement or
+//! loop anchored at `ProcessorId::all(..)` — allocating calls are
+//! flagged: `.clone()` (except `Arc::clone`, which is the *endorsed*
+//! idiom and spelled so the intent is visible), `.to_vec()`, `vec![`,
+//! `Vec::new()`, and friends. A `clone` that is really a refcount bump
+//! (e.g. `Option<Arc<T>>::clone`) can carry an
+//! `rtc-allow(alloc-in-fanout): <why>`.
+
+use crate::diag::Diagnostic;
+use crate::engine::Workspace;
+use crate::rules::Rule;
+use crate::source::statement_region;
+
+/// Crates whose fan-out paths are hot: the commit automata and the
+/// baseline protocols the experiment tables sweep.
+const SCOPE: [&str; 2] = ["rtc-core", "rtc-baselines"];
+
+/// Allocating tokens banned inside a fan-out region.
+const BANNED: [&str; 8] = [
+    ".clone()",
+    ".to_vec()",
+    ".to_owned()",
+    "Vec::new()",
+    "vec![",
+    "format!(",
+    "Box::new(",
+    ".collect::<Vec",
+];
+
+/// Longest fan-out statement we will scan before giving up (the regions
+/// in this workspace are all far shorter).
+const MAX_REGION_LINES: usize = 40;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct AllocInFanout;
+
+impl Rule for AllocInFanout {
+    fn name(&self) -> &'static str {
+        "alloc-in-fanout"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no per-destination allocation inside ProcessorId::all broadcast fan-out"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| SCOPE.contains(&f.crate_name.as_str()))
+        {
+            let anchors: Vec<usize> = file
+                .prod_lines()
+                .filter(|(_, l)| l.contains("ProcessorId::all("))
+                .map(|(n, _)| n)
+                .collect();
+            for anchor in anchors {
+                let region = statement_region(&file.code, anchor, MAX_REGION_LINES);
+                for line_no in region.start..=region.end {
+                    if file.is_test.get(line_no - 1).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let line = &file.code[line_no - 1];
+                    for token in BANNED {
+                        if line.contains(token) {
+                            out.push(Diagnostic::new(
+                                self.name(),
+                                &file.rel_path,
+                                line_no,
+                                format!(
+                                    "`{}` inside the fan-out anchored at line {}: every \
+                                     destination pays this allocation; build one immutable \
+                                     bundle before the fan-out and share it with Arc::clone",
+                                    token.trim_matches(['.', '(', '[', '!']),
+                                    anchor
+                                ),
+                                file.snippet(line_no),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+        out
+    }
+}

@@ -1,0 +1,67 @@
+//! Rule `wall-clock`: determinism hazards in deterministic crates.
+//!
+//! The simulator, protocol automata, lockstep model checker, and chaos
+//! campaigns must be pure functions of their seeds: a single
+//! `Instant::now()` or `thread_rng()` silently breaks golden-trace
+//! replay and the seed-partitioned parallel drivers. Wall-clock and
+//! entropy access is the business of `rtc-runtime` (real threads),
+//! `rtc-experiments` (timing tables), and `rtc-bench` — all out of
+//! scope here.
+
+use crate::diag::Diagnostic;
+use crate::engine::Workspace;
+use crate::rules::{in_deterministic_scope, Rule};
+
+/// Banned tokens and why, checked against scrubbed production lines.
+const BANNED: [(&str, &str); 7] = [
+    ("Instant::now", "wall-clock read"),
+    ("SystemTime", "wall-clock read"),
+    ("thread_rng", "process-global unseeded RNG"),
+    ("from_entropy", "entropy-seeded RNG"),
+    ("rand::random", "unseeded RNG"),
+    ("env::var", "environment read"),
+    ("RandomState", "entropy-seeded hasher state"),
+];
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no wall-clock, entropy, or environment reads in deterministic crates"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| in_deterministic_scope(&f.crate_name))
+        {
+            for (line_no, line) in file.prod_lines() {
+                for (token, why) in BANNED {
+                    if line.contains(token) {
+                        out.push(Diagnostic::new(
+                            self.name(),
+                            &file.rel_path,
+                            line_no,
+                            format!(
+                                "`{token}` ({why}) in deterministic crate `{}`: replay and \
+                                 seed-partitioned parallelism require behavior to be a pure \
+                                 function of seeds",
+                                file.crate_name
+                            ),
+                            file.snippet(line_no),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,72 @@
+//! Rule `panic-path`: no panicking calls in protocol message handling.
+//!
+//! A panic inside `protocol1`/`protocol2`/`sim::engine` takes a node
+//! down on a *message*, converting an adversarial input into a crash
+//! fault outside the fault budget. Protocol code degrades gracefully
+//! instead: impossible states break out of the step (the stall is
+//! observable and classified by the chaos harness) rather than
+//! unwinding. `assert!`/`debug_assert!` are allowed — constructors
+//! document their contract panics, and debug asserts vanish in release.
+
+use crate::diag::Diagnostic;
+use crate::engine::Workspace;
+use crate::rules::Rule;
+
+/// The protocol-path files this rule guards.
+const SCOPE: [&str; 3] = [
+    "crates/core/src/protocol1.rs",
+    "crates/core/src/protocol2.rs",
+    "crates/sim/src/engine.rs",
+];
+
+/// Panicking constructs banned on the protocol path.
+const BANNED: [&str; 5] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+];
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct PanicInProtocolPath;
+
+impl Rule for PanicInProtocolPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic in protocol message handling paths"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| SCOPE.contains(&f.rel_path.as_str()))
+        {
+            for (line_no, line) in file.prod_lines() {
+                for token in BANNED {
+                    if line.contains(token) {
+                        out.push(Diagnostic::new(
+                            self.name(),
+                            &file.rel_path,
+                            line_no,
+                            format!(
+                                "`{}` on the protocol path: a panic here turns a message \
+                                 into a crash fault outside the fault budget; break out of \
+                                 the step (graceful stall) or return an error instead",
+                                token.trim_matches(['.', '('])
+                            ),
+                            file.snippet(line_no),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

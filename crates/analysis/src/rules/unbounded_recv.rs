@@ -1,0 +1,103 @@
+//! Rule `unbounded-recv`: receive loops must be deadline-bounded.
+//!
+//! The paper's Protocol 2 never waits forever: both of its waits are
+//! bounded by the `2K`-tick timeout (`TimingParams::vote_timeout`), and
+//! the threaded runtime mirrors that with `recv_timeout` against a tick
+//! deadline. A bare blocking `.recv()` inside a loop reintroduces the
+//! unbounded wait the fault model explicitly rejects — one crashed peer
+//! (or one lost message) and the loop hangs for good. Every receive
+//! loop must either use a bounded receive (`recv_timeout`, `try_recv`,
+//! `recv_deadline`) or reference a deadline/timeout symbol.
+
+use crate::diag::Diagnostic;
+use crate::engine::Workspace;
+use crate::rules::Rule;
+use crate::source::statement_region;
+
+/// Tokens that satisfy the bound: either a bounded receive variant or a
+/// reference to the `2K` deadline machinery.
+const BOUNDED: [&str; 8] = [
+    "recv_timeout",
+    "recv_deadline",
+    "try_recv",
+    "vote_timeout",
+    "timed_out",
+    "deadline",
+    "wall_timeout",
+    "due",
+];
+
+/// Longest loop body scanned from its header.
+const MAX_REGION_LINES: usize = 80;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct UnboundedRecv;
+
+impl UnboundedRecv {
+    fn in_scope(file_path: &str, crate_name: &str) -> bool {
+        crate_name == "rtc-runtime" || file_path == "crates/core/src/protocol2.rs"
+    }
+}
+
+impl Rule for UnboundedRecv {
+    fn name(&self) -> &'static str {
+        "unbounded-recv"
+    }
+
+    fn summary(&self) -> &'static str {
+        "receive loops must be bounded by the 2K timeout or a bounded recv variant"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| Self::in_scope(&f.rel_path, &f.crate_name))
+        {
+            let headers: Vec<usize> = file
+                .prod_lines()
+                .filter(|(_, l)| {
+                    let t = l.trim_start();
+                    t.starts_with("loop")
+                        || t.starts_with("while ")
+                        || t.starts_with("while(")
+                        || t.contains("= loop")
+                })
+                .map(|(n, _)| n)
+                .collect();
+            for header in headers {
+                let region = statement_region(&file.code, header, MAX_REGION_LINES);
+                let body: Vec<&str> = (region.start..=region.end)
+                    .map(|n| file.code[n - 1].as_str())
+                    .collect();
+                let receives = body.iter().any(|l| l.contains(".recv("))
+                    || body.iter().any(|l| l.contains(".recv_timeout("));
+                if !receives {
+                    continue;
+                }
+                let bounded = body
+                    .iter()
+                    .any(|l| BOUNDED.iter().any(|tok| l.contains(tok)));
+                if !bounded {
+                    // Anchor on the first receive call in the loop.
+                    let line_no = (region.start..=region.end)
+                        .find(|n| file.code[n - 1].contains(".recv("))
+                        .unwrap_or(header);
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        line_no,
+                        "blocking receive loop with no deadline: bound it with \
+                         recv_timeout/try_recv or the 2K vote_timeout machinery, or one \
+                         crashed peer stalls this node forever"
+                            .to_owned(),
+                        file.snippet(line_no),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

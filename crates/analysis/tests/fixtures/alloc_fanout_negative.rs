@@ -1,0 +1,12 @@
+//! Negative fixture for `alloc-in-fanout`: the bundle is built once and
+//! shared by refcount. Not compiled — scanned by `fixtures.rs`.
+
+use std::sync::Arc;
+
+pub fn fan_out(n: usize, bundle: Arc<[u8]>) -> Vec<(usize, Arc<[u8]>)> {
+    let mut sends = Vec::new();
+    for q in ProcessorId::all(n) {
+        sends.push((q, Arc::clone(&bundle)));
+    }
+    sends
+}

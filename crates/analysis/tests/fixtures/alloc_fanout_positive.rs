@@ -1,0 +1,10 @@
+//! Positive fixture for `alloc-in-fanout`: every destination pays a
+//! deep clone of the bundle. Not compiled — scanned by `fixtures.rs`.
+
+pub fn fan_out(n: usize, bundle: Vec<u8>) -> Vec<(usize, Vec<u8>)> {
+    let mut sends = Vec::new();
+    for q in ProcessorId::all(n) {
+        sends.push((q, bundle.clone()));
+    }
+    sends
+}

@@ -1,0 +1,20 @@
+//! Negative fixture for `message-exhaustiveness`: every variant has
+//! both a send site and a handler arm. Not compiled — scanned by
+//! `fixtures.rs`.
+
+/// The wire vocabulary.
+pub enum WireMsg {
+    Go,
+    Probe,
+}
+
+pub fn send_all() -> Vec<WireMsg> {
+    vec![WireMsg::Go, WireMsg::Probe]
+}
+
+pub fn handle(msg: WireMsg) {
+    match msg {
+        WireMsg::Go => {}
+        WireMsg::Probe => {}
+    }
+}

@@ -1,0 +1,20 @@
+//! Positive fixture for `message-exhaustiveness`: `Probe` is sent but
+//! no handler arm matches it, so receivers silently drop it. Not
+//! compiled — scanned by `fixtures.rs`.
+
+/// The wire vocabulary.
+pub enum WireMsg {
+    Go,
+    Probe,
+}
+
+pub fn send_all() -> Vec<WireMsg> {
+    vec![WireMsg::Go, WireMsg::Probe]
+}
+
+pub fn handle(msg: WireMsg) {
+    match msg {
+        WireMsg::Go => {}
+        _ => {}
+    }
+}

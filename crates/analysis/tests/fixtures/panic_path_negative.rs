@@ -1,0 +1,10 @@
+//! Negative fixture for `panic-path`: the impossible state stalls the
+//! step instead of panicking. Not compiled — scanned by `fixtures.rs`.
+
+pub fn step(state: Option<u64>) -> u64 {
+    let Some(s) = state else {
+        debug_assert!(false, "state installed before stepping");
+        return 0;
+    };
+    s
+}

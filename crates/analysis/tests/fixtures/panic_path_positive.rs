@@ -1,0 +1,6 @@
+//! Positive fixture for `panic-path`: `unwrap` on the protocol message
+//! path. Not compiled — scanned by `fixtures.rs`.
+
+pub fn step(state: Option<u64>) -> u64 {
+    state.unwrap()
+}

@@ -1,0 +1,13 @@
+//! Negative fixture for `unbounded-recv`: the receive is bounded by the
+//! 2K-derived deadline. Not compiled — scanned by `fixtures.rs`.
+
+pub fn drain(rx: Receiver<u64>, wall_timeout: Duration) -> u64 {
+    let mut last = 0;
+    loop {
+        match rx.recv_timeout(wall_timeout) {
+            Ok(v) => last = v,
+            Err(_) => break,
+        }
+    }
+    last
+}

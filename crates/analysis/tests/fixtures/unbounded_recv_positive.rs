@@ -1,0 +1,13 @@
+//! Positive fixture for `unbounded-recv`: a blocking receive loop with
+//! no deadline. Not compiled — scanned by `fixtures.rs`.
+
+pub fn drain(rx: Receiver<u64>) -> u64 {
+    let mut last = 0;
+    loop {
+        match rx.recv() {
+            Ok(v) => last = v,
+            Err(_) => break,
+        }
+    }
+    last
+}

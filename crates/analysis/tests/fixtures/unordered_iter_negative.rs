@@ -1,0 +1,21 @@
+//! Negative fixture for `unordered-iter`: `BTreeMap` iterates in key
+//! order, which is deterministic. Not compiled — scanned by
+//! `fixtures.rs`.
+
+use std::collections::BTreeMap;
+
+pub struct Board {
+    votes: BTreeMap<u64, u8>,
+}
+
+impl Board {
+    pub fn tally(&self) -> usize {
+        let mut ones = 0;
+        for v in self.votes.values() {
+            if *v == 1 {
+                ones += 1;
+            }
+        }
+        ones
+    }
+}

@@ -1,0 +1,20 @@
+//! Positive fixture for `unordered-iter`: iterating a `HashMap` in a
+//! deterministic crate. Not compiled — scanned by `fixtures.rs`.
+
+use std::collections::HashMap;
+
+pub struct Board {
+    votes: HashMap<u64, u8>,
+}
+
+impl Board {
+    pub fn tally(&self) -> usize {
+        let mut ones = 0;
+        for v in self.votes.values() {
+            if *v == 1 {
+                ones += 1;
+            }
+        }
+        ones
+    }
+}

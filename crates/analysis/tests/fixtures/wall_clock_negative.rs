@@ -1,0 +1,13 @@
+//! Negative fixture for `wall-clock`: time is the logical tick counter,
+//! never the host clock. Not compiled — scanned by `fixtures.rs`.
+
+pub struct Clock {
+    ticks: u64,
+}
+
+impl Clock {
+    pub fn tick(&mut self) -> u64 {
+        self.ticks += 1;
+        self.ticks
+    }
+}

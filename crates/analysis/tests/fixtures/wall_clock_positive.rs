@@ -1,0 +1,6 @@
+//! Positive fixture for `wall-clock`: reads the wall clock inside a
+//! deterministic crate. Not compiled — scanned by `fixtures.rs`.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rtc_model::{Automaton, Delivery, ProcessorId, Send, Status, StepRng, Value};
 
@@ -53,7 +54,11 @@ impl CmsMsg {
 }
 
 /// The wire bundle: every CMS message a processor emits at one step.
-pub type CmsBundle = Vec<CmsMsg>;
+///
+/// An immutable `Arc` slice so a broadcast builds the bundle once and
+/// every destination shares it by refcount (see the `alloc-in-fanout`
+/// analysis rule).
+pub type CmsBundle = Arc<[CmsMsg]>;
 
 #[derive(Clone, Debug, Default)]
 struct StageBoard {
@@ -238,7 +243,7 @@ impl Automaton for CmsAutomaton {
             broadcasts.push(msg);
         }
         for d in delivered {
-            for msg in &d.msg {
+            for msg in d.msg.iter() {
                 self.ingest(d.from, *msg);
             }
         }
@@ -246,9 +251,11 @@ impl Automaton for CmsAutomaton {
         if broadcasts.is_empty() {
             return Vec::new();
         }
+        // One bundle, shared by refcount across all destinations.
+        let bundle: CmsBundle = broadcasts.into();
         ProcessorId::all(self.n)
             .filter(|q| *q != self.id)
-            .map(|q| Send::new(q, broadcasts.clone()))
+            .map(|q| Send::new(q, Arc::clone(&bundle)))
             .collect()
     }
 

@@ -17,6 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use rtc_model::{
     Automaton, Decision, Delivery, ProcessorId, Send, Status, StepRng, TimingParams, Value,
@@ -41,7 +42,11 @@ pub enum ThreePcMsg {
 }
 
 /// The wire bundle: all 3PC messages a processor emits at one step.
-pub type ThreePcBundle = Vec<ThreePcMsg>;
+///
+/// An immutable `Arc` slice so a broadcast builds the bundle once and
+/// every destination shares it by refcount (see the `alloc-in-fanout`
+/// analysis rule).
+pub type ThreePcBundle = Arc<[ThreePcMsg]>;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ThreePcState {
@@ -127,7 +132,7 @@ impl Automaton for ThreePcAutomaton {
         let mut to_all: Vec<ThreePcMsg> = Vec::new();
         let mut to_coord: Vec<ThreePcMsg> = Vec::new();
         for d in delivered {
-            for msg in &d.msg {
+            for msg in d.msg.iter() {
                 match msg {
                     ThreePcMsg::CanCommit => {
                         if !self.id.is_coordinator() && self.state == ThreePcState::Init {
@@ -234,14 +239,16 @@ impl Automaton for ThreePcAutomaton {
         }
         let mut sends = Vec::new();
         if !to_all.is_empty() {
+            // One bundle, shared by refcount across all destinations.
+            let bundle: ThreePcBundle = to_all.into();
             for q in ProcessorId::all(self.n) {
                 if q != self.id {
-                    sends.push(Send::new(q, to_all.clone()));
+                    sends.push(Send::new(q, Arc::clone(&bundle)));
                 }
             }
         }
         if !to_coord.is_empty() {
-            sends.push(Send::new(ProcessorId::COORDINATOR, to_coord));
+            sends.push(Send::new(ProcessorId::COORDINATOR, to_coord.into()));
         }
         sends
     }

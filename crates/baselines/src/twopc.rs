@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rtc_model::{
     Automaton, Decision, Delivery, ProcessorId, Send, Status, StepRng, TimingParams, Value,
@@ -30,7 +31,11 @@ pub enum TwoPcMsg {
 }
 
 /// The wire bundle: all 2PC messages a processor emits at one step.
-pub type TwoPcBundle = Vec<TwoPcMsg>;
+///
+/// An immutable `Arc` slice so a broadcast builds the bundle once and
+/// every destination shares it by refcount (see the `alloc-in-fanout`
+/// analysis rule).
+pub type TwoPcBundle = Arc<[TwoPcMsg]>;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TwoPcState {
@@ -121,7 +126,7 @@ impl Automaton for TwoPcAutomaton {
         let mut to_all: Vec<TwoPcMsg> = Vec::new();
         let mut to_coord: Vec<TwoPcMsg> = Vec::new();
         for d in delivered {
-            for msg in &d.msg {
+            for msg in d.msg.iter() {
                 match msg {
                     TwoPcMsg::Prepare => {
                         if !self.id.is_coordinator() && self.state == TwoPcState::Init {
@@ -182,16 +187,19 @@ impl Automaton for TwoPcAutomaton {
             self.decide(Decision::Abort);
         }
         let mut sends = Vec::new();
-        if !to_all.is_empty() {
+        let broadcast = !to_all.is_empty();
+        if broadcast {
+            // One bundle, shared by refcount across all destinations.
+            let bundle: TwoPcBundle = to_all.into();
             for q in ProcessorId::all(self.n) {
                 if q != self.id {
-                    sends.push(Send::new(q, to_all.clone()));
+                    sends.push(Send::new(q, Arc::clone(&bundle)));
                 }
             }
         }
         if !to_coord.is_empty() {
-            debug_assert!(to_all.is_empty(), "participants never broadcast");
-            sends.push(Send::new(ProcessorId::COORDINATOR, to_coord));
+            debug_assert!(!broadcast, "participants never broadcast");
+            sends.push(Send::new(ProcessorId::COORDINATOR, to_coord.into()));
         }
         sends
     }

@@ -41,6 +41,7 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: delegates verbatim to `System`; the counter is a relaxed
 // atomic with no further invariants.
+#[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);

@@ -25,7 +25,7 @@
 //! drives one); [`AgreementAutomaton`] wraps it as a standalone
 //! [`rtc_model::Automaton`] solving the agreement problem.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -74,8 +74,8 @@ enum Waiting {
 /// Per-stage bulletin board: who sent what, deduplicated by sender.
 #[derive(Clone, Debug, Default)]
 struct StageBoard {
-    first: HashMap<ProcessorId, Value>,
-    second: HashMap<ProcessorId, Option<Value>>,
+    first: BTreeMap<ProcessorId, Value>,
+    second: BTreeMap<ProcessorId, Option<Value>>,
 }
 
 /// The embeddable Protocol 1 state machine.
@@ -92,7 +92,7 @@ pub struct Agreement {
     x: Value,
     stage: u64,
     waiting: Waiting,
-    boards: HashMap<u64, StageBoard>,
+    boards: BTreeMap<u64, StageBoard>,
     started: bool,
     decided: Option<(Value, u64)>,
     halted: bool,
@@ -130,7 +130,7 @@ impl Agreement {
             x,
             stage: 1,
             waiting: Waiting::First,
-            boards: HashMap::new(),
+            boards: BTreeMap::new(),
             started: false,
             decided: None,
             halted: false,

@@ -22,7 +22,7 @@
 //!   votes, so every input to Protocol 1 is 0 and — by Protocol 1's
 //!   validity — the common decision is already fixed at abort.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -122,9 +122,9 @@ pub struct CommitAutomaton {
     initval: Value,
     coins: Option<Arc<CoinList>>,
     phase: CommitPhase,
-    go_senders: HashSet<ProcessorId>,
+    go_senders: BTreeSet<ProcessorId>,
     go_wait_start: Option<u64>,
-    votes: HashMap<ProcessorId, Value>,
+    votes: BTreeMap<ProcessorId, Value>,
     vote_wait_start: Option<u64>,
     pending_agree: Vec<(ProcessorId, AgreementMsg)>,
     agreement: Option<Agreement>,
@@ -171,9 +171,9 @@ impl CommitAutomaton {
             initval,
             coins: None,
             phase: CommitPhase::AwaitGo,
-            go_senders: HashSet::new(),
+            go_senders: BTreeSet::new(),
             go_wait_start: None,
-            votes: HashMap::new(),
+            votes: BTreeMap::new(),
             vote_wait_start: None,
             pending_agree: Vec::new(),
             agreement: None,
@@ -361,10 +361,15 @@ impl CommitAutomaton {
                         Value::Zero
                     };
                     self.agreement_input = Some(xp);
-                    let coins = self
-                        .coins
-                        .clone()
-                        .expect("coins known before the vote wait");
+                    // The Go carrying the coins is what moved us past
+                    // AwaitGo, so the coins are known here; if that
+                    // invariant ever breaks, stall this step rather than
+                    // panic — a panic would turn a protocol bug into a
+                    // crash fault outside the fault budget.
+                    let Some(coins) = self.coins.clone() else {
+                        debug_assert!(false, "coins known before the vote wait");
+                        break;
+                    };
                     let mut agreement =
                         Agreement::new(self.id, n, self.cfg.fault_bound(), xp, coins);
                     for msg in agreement.start() {
@@ -377,7 +382,12 @@ impl CommitAutomaton {
                     self.phase = CommitPhase::Agreeing;
                 }
                 CommitPhase::Agreeing => {
-                    let agreement = self.agreement.as_mut().expect("agreement started");
+                    // Agreeing is only entered after `self.agreement` is
+                    // installed; stall instead of panicking if not.
+                    let Some(agreement) = self.agreement.as_mut() else {
+                        debug_assert!(false, "agreement started");
+                        break;
+                    };
                     for msg in agreement.poll(rng) {
                         out.push(CommitKind::Agree(msg));
                     }
@@ -510,6 +520,7 @@ impl Automaton for CommitAutomaton {
                 Some(Send::new(
                     q,
                     CommitMsg {
+                        // rtc-allow(alloc-in-fanout): Option<Arc> clone is a refcount bump
                         go: go.clone(),
                         kinds: dest_kinds,
                     },

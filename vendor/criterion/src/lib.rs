@@ -214,6 +214,7 @@ fn run_target<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, sample_size:
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Bench group entry point generated by `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
