@@ -22,15 +22,16 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use criterion::Criterion;
 use rtc_bench::{BenchReport, Metric};
-use rtc_chaos::{run_campaign, CampaignConfig};
-use rtc_core::{CommitAutomaton, CommitConfig};
+use rtc_chaos::{run_campaign, CampaignConfig, ChaosAdversary, ChaosDelay, ChaosSchedule};
+use rtc_core::{commit_population, CommitAutomaton, CommitConfig};
 use rtc_experiments::run_commit;
 use rtc_model::{Automaton, LocalClock, ProcessorId, SeedCollection, TimingParams, Value};
 use rtc_sim::adversaries::SynchronousAdversary;
-use rtc_sim::RunLimits;
+use rtc_sim::{RunLimits, SimBuilder};
 
 /// `System` wrapped in allocation counting. Counts every `alloc` and
 /// `realloc` call; frees are irrelevant to the metric (we count heap
@@ -205,6 +206,88 @@ fn measure_sync_commit(metrics: &mut Vec<Metric>) -> usize {
     result.messages
 }
 
+/// The chaos soak schedule the scheduler overhaul is measured on: a
+/// delay-jittered, crash-free run that keeps many messages buffered at
+/// once — worst case for per-delivery buffer scans.
+fn soak_schedule(n: usize, t: usize, seed: u64) -> ChaosSchedule {
+    ChaosSchedule {
+        seed,
+        n,
+        t,
+        votes: vec![Value::One; n],
+        early_abort: false,
+        delay: ChaosDelay::Jitter { max_steps: 3 },
+        crashes: Vec::new(),
+        restarts: Vec::new(),
+        flaps: Vec::new(),
+    }
+}
+
+/// Raw simulator throughput on the soak schedule: total scheduler
+/// events per wall-clock second across several seeded runs. Measured
+/// single-shot (no criterion) so the metric exists in `--test` smoke
+/// mode too — the CI gate tracks it with a generous noise margin.
+fn measure_sim_throughput(metrics: &mut Vec<Metric>) {
+    for n in [16usize, 32] {
+        let config = cfg(n);
+        const REPS: u64 = 6;
+        // Warm-up run outside the timed region.
+        {
+            let schedule = soak_schedule(n, config.fault_bound(), 0x50AC);
+            let procs = commit_population(config, &schedule.votes);
+            let mut sim = SimBuilder::new(config.timing(), SeedCollection::new(0x50AC))
+                .fault_budget(config.fault_bound())
+                .build(procs)
+                .unwrap();
+            let mut adv = ChaosAdversary::new(&schedule);
+            sim.run(&mut adv, RunLimits::default()).unwrap();
+        }
+        let mut events = 0u64;
+        let start = Instant::now();
+        for rep in 0..REPS {
+            let schedule = soak_schedule(n, config.fault_bound(), 0xD0_5EED + rep);
+            let procs = commit_population(config, &schedule.votes);
+            let mut sim = SimBuilder::new(config.timing(), SeedCollection::new(schedule.seed))
+                .fault_budget(config.fault_bound())
+                .build(procs)
+                .unwrap();
+            let mut adv = ChaosAdversary::new(&schedule);
+            let report = sim.run(&mut adv, RunLimits::default()).unwrap();
+            events += report.events();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        metrics.push(Metric::throughput(
+            format!("time/sim_steps_per_sec/n{n}"),
+            events as f64 / secs,
+            "steps/sec",
+        ));
+        metrics.push(Metric::timing(
+            format!("time/sim_step/n{n}"),
+            secs * 1e9 / events as f64,
+            "ns/step",
+        ));
+    }
+}
+
+/// End-to-end campaign throughput: schedules fully validated per
+/// second, single worker, single shot (smoke-mode capable like
+/// [`measure_sim_throughput`]).
+fn measure_campaign_throughput(metrics: &mut Vec<Metric>) {
+    let cfg = CampaignConfig {
+        workers: 1,
+        ..campaign_cfg(40)
+    };
+    let start = Instant::now();
+    let summary = run_campaign(&cfg);
+    assert!(summary.ok(), "soak campaign stays green");
+    let secs = start.elapsed().as_secs_f64();
+    metrics.push(Metric::throughput(
+        "time/campaign_throughput/sim40",
+        40.0 / secs,
+        "schedules/sec",
+    ));
+}
+
 fn campaign_cfg(schedules: u64) -> CampaignConfig {
     CampaignConfig {
         schedules,
@@ -318,6 +401,8 @@ fn main() {
     measure_fanout(&mut metrics);
     measure_msg_clone(&mut metrics);
     let msgs_per_run = measure_sync_commit(&mut metrics);
+    measure_sim_throughput(&mut metrics);
+    measure_campaign_throughput(&mut metrics);
 
     if !smoke {
         let mut criterion = Criterion::default();
@@ -331,6 +416,7 @@ fn main() {
             value: *value,
             unit: (*unit).to_string(),
             deterministic: *deterministic,
+            higher_is_better: false,
         });
     }
 

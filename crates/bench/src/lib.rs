@@ -50,6 +50,11 @@ pub struct Metric {
     /// Whether the value is an exact machine-independent count (safe to
     /// gate CI on) rather than a wall-clock sample.
     pub deterministic: bool,
+    /// Whether larger values are better (throughput metrics such as
+    /// `time/sim_steps_per_sec/*`). Default `false`: most of the suite
+    /// measures costs, where lower is better. Absent in older
+    /// `BENCH_rtc.json` files, which predate throughput metrics.
+    pub higher_is_better: bool,
 }
 
 impl Metric {
@@ -60,6 +65,7 @@ impl Metric {
             value,
             unit: unit.into(),
             deterministic: true,
+            higher_is_better: false,
         }
     }
 
@@ -70,6 +76,19 @@ impl Metric {
             value,
             unit: unit.into(),
             deterministic: false,
+            higher_is_better: false,
+        }
+    }
+
+    /// A wall-clock throughput metric: machine-dependent, and larger is
+    /// better (the comparator flags *drops* beyond tolerance).
+    pub fn throughput(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            deterministic: false,
+            higher_is_better: true,
         }
     }
 }
@@ -99,9 +118,16 @@ impl BenchReport {
         out.push_str("  \"metrics\": [\n");
         for (i, m) in self.metrics.iter().enumerate() {
             let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            // `higher_is_better` is emitted only when set, so reports
+            // without throughput metrics keep the original shape.
+            let hib = if m.higher_is_better {
+                ", \"higher_is_better\": true"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
-                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \"deterministic\": {}}}{comma}",
+                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \"deterministic\": {}{hib}}}{comma}",
                 m.name,
                 fmt_f64(m.value),
                 m.unit,
@@ -144,11 +170,15 @@ impl BenchReport {
             let deterministic = extract_raw_field(line, "deterministic")
                 .and_then(|v| v.parse::<bool>().ok())
                 .ok_or_else(|| format!("metric {name}: bad deterministic flag"))?;
+            let higher_is_better = extract_raw_field(line, "higher_is_better")
+                .and_then(|v| v.parse::<bool>().ok())
+                .unwrap_or(false);
             metrics.push(Metric {
                 name,
                 value,
                 unit,
                 deterministic,
+                higher_is_better,
             });
         }
         Ok(BenchReport { mode, metrics })
@@ -208,7 +238,7 @@ impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} -> {} (+{:.1}% > tolerance)",
+            "{}: {} -> {} (worse by {:.1}%, beyond tolerance)",
             self.name,
             fmt_f64(self.baseline),
             fmt_f64(self.current),
@@ -217,9 +247,11 @@ impl std::fmt::Display for Regression {
     }
 }
 
-/// Compares `current` against `baseline`: any shared metric whose value
-/// grew by more than `tolerance` (relative, e.g. `0.25` for 25%) is a
-/// regression. Lower is better for every metric in this suite.
+/// Compares `current` against `baseline`: any shared metric that got
+/// *worse* by more than `tolerance` (relative, e.g. `0.25` for 25%) is
+/// a regression. "Worse" follows the metric's direction: growth for
+/// cost metrics, shrinkage for `higher_is_better` throughput metrics
+/// (direction is taken from the baseline entry).
 ///
 /// Only deterministic metrics gate by default; pass
 /// `include_timings = true` to also gate wall-clock metrics (meaningful
@@ -233,26 +265,57 @@ pub fn regressions(
     tolerance: f64,
     include_timings: bool,
 ) -> Vec<Regression> {
+    regressions_split(
+        baseline,
+        current,
+        tolerance,
+        include_timings.then_some(tolerance),
+    )
+}
+
+/// Like [`regressions`], but with independent tolerances per metric
+/// class: `det_tolerance` for deterministic (exact-count) metrics, and
+/// `timing_tolerance` for wall-clock ones (`None` skips them entirely).
+/// CI gates counts exactly (`det_tolerance = 0`) while giving noisy
+/// throughput samples a generous margin.
+pub fn regressions_split(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    det_tolerance: f64,
+    timing_tolerance: Option<f64>,
+) -> Vec<Regression> {
     let mut out = Vec::new();
     for base in &baseline.metrics {
         if base.name.starts_with("pre_pr/") {
             continue;
         }
-        if !base.deterministic && !include_timings {
-            continue;
-        }
+        let tolerance = if base.deterministic {
+            det_tolerance
+        } else {
+            match timing_tolerance {
+                Some(t) => t,
+                None => continue,
+            }
+        };
         let Some(cur) = current.get(&base.name) else {
             continue;
         };
-        // A zero baseline can only regress by becoming nonzero.
-        let ratio = if base.value == 0.0 {
-            if cur.value > 0.0 {
+        // Relative worsening, oriented by the metric's direction. A
+        // zero baseline can only regress by moving off zero in the
+        // wrong direction.
+        let (worse, reference) = if base.higher_is_better {
+            (base.value - cur.value, base.value)
+        } else {
+            (cur.value - base.value, base.value)
+        };
+        let ratio = if reference == 0.0 {
+            if worse > 0.0 {
                 f64::INFINITY
             } else {
                 0.0
             }
         } else {
-            (cur.value - base.value) / base.value
+            worse / reference
         };
         if ratio > tolerance {
             out.push(Regression {
@@ -344,6 +407,70 @@ mod tests {
         let mut current = sample();
         current.metrics[2].value = 1e9;
         assert!(regressions(&baseline, &current, 0.25, true).is_empty());
+    }
+
+    #[test]
+    fn throughput_drops_are_regressions_and_gains_are_not() {
+        let baseline = BenchReport {
+            mode: "full".to_string(),
+            metrics: vec![Metric::throughput(
+                "time/sim_steps_per_sec/n32",
+                1_000_000.0,
+                "steps/sec",
+            )],
+        };
+        let mut current = baseline.clone();
+        // 5x faster: not a regression even with timings gated.
+        current.metrics[0].value = 5_000_000.0;
+        assert!(regressions(&baseline, &current, 0.25, true).is_empty());
+        // 40% slower: flagged.
+        current.metrics[0].value = 600_000.0;
+        let regs = regressions(&baseline, &current, 0.25, true);
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].ratio - 0.4).abs() < 1e-9);
+        // Throughput metrics are wall-clock: never gated without --all.
+        assert!(regressions(&baseline, &current, 0.25, false).is_empty());
+    }
+
+    #[test]
+    fn split_tolerances_gate_each_class_independently() {
+        let baseline = BenchReport {
+            mode: "full".to_string(),
+            metrics: vec![
+                Metric::exact("alloc/fanout_step_total/n16", 8.0, "allocs/step"),
+                Metric::throughput("time/sim_steps_per_sec/n32", 1_000_000.0, "steps/sec"),
+            ],
+        };
+        let mut current = baseline.clone();
+        current.metrics[0].value = 9.0; // +12.5% on an exact count
+        current.metrics[1].value = 500_000.0; // -50% throughput
+                                              // Exact gate at 0 catches the count; timing margin of 100%
+                                              // tolerates the throughput dip.
+        let regs = regressions_split(&baseline, &current, 0.0, Some(1.0));
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "alloc/fanout_step_total/n16");
+        // Tight timing margin catches the throughput drop too.
+        assert_eq!(
+            regressions_split(&baseline, &current, 0.0, Some(0.25)).len(),
+            2
+        );
+        // No timing tolerance: timings skipped entirely.
+        assert_eq!(regressions_split(&baseline, &current, 0.0, None).len(), 1);
+    }
+
+    #[test]
+    fn higher_is_better_flag_round_trips() {
+        let report = BenchReport {
+            mode: "full".to_string(),
+            metrics: vec![
+                Metric::throughput("time/campaign_throughput/sim40", 218.0, "schedules/sec"),
+                Metric::timing("time/sync_commit/n16", 500.0, "us/run"),
+            ],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(parsed.metrics[0].higher_is_better);
+        assert!(!parsed.metrics[1].higher_is_better);
     }
 
     #[test]

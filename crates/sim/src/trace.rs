@@ -201,6 +201,114 @@ impl Trace {
     pub fn is_on_time(&self, k: u64) -> bool {
         self.msgs.iter().all(|m| !self.is_late(m, k))
     }
+
+    /// Number of events in the traced prefix.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// A 64-bit FNV-1a digest over the full canonical content of the
+    /// trace: every event (kind, processor, clock, delivered and sent
+    /// message ids in order), every message record, every decision, and
+    /// the faulty set.
+    ///
+    /// Two traces have equal digests exactly when an adversary run
+    /// produced byte-identical schedules, so this is the currency of
+    /// the scheduler-equivalence suite (`tests/scheduler_equivalence.rs`):
+    /// golden digests captured from one engine revision must be
+    /// reproduced bit-for-bit by the next.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.population() as u64);
+        h.write_u64(self.events.len() as u64);
+        for ev in &self.events {
+            match ev {
+                EventRecord::Step {
+                    p,
+                    clock_after,
+                    delivered,
+                    sent,
+                } => {
+                    h.write_u8(0);
+                    h.write_u64(p.index() as u64);
+                    h.write_u64(clock_after.ticks());
+                    h.write_u64(delivered.len() as u64);
+                    for id in delivered {
+                        h.write_u64(id.index() as u64);
+                    }
+                    h.write_u64(sent.len() as u64);
+                    for id in sent {
+                        h.write_u64(id.index() as u64);
+                    }
+                }
+                EventRecord::Crash { p } => {
+                    h.write_u8(1);
+                    h.write_u64(p.index() as u64);
+                }
+                EventRecord::Revive { p } => {
+                    h.write_u8(2);
+                    h.write_u64(p.index() as u64);
+                }
+            }
+        }
+        h.write_u64(self.msgs.len() as u64);
+        for m in &self.msgs {
+            h.write_u64(m.id.index() as u64);
+            h.write_u64(m.from.index() as u64);
+            h.write_u64(m.to.index() as u64);
+            h.write_u64(m.send_event);
+            h.write_u64(m.sender_clock.ticks());
+            h.write_opt_u64(m.recv_event);
+            h.write_opt_u64(m.recv_clock.map(LocalClock::ticks));
+            h.write_u8(m.dropped as u8);
+        }
+        h.write_u64(self.decisions.len() as u64);
+        for d in &self.decisions {
+            h.write_u64(d.p.index() as u64);
+            h.write_u8(d.value.as_u8());
+            h.write_u64(d.clock.ticks());
+            h.write_u64(d.event);
+        }
+        h.write_u64(self.crashed.len() as u64);
+        for p in &self.crashed {
+            h.write_u64(p.index() as u64);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit. Hand-rolled so the digest is stable across Rust
+/// releases and independent of `std::hash` internals.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u8(0),
+            Some(v) => {
+                self.write_u8(1);
+                self.write_u64(v);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl fmt::Debug for Trace {
@@ -287,6 +395,27 @@ mod tests {
         });
         assert_eq!(t.faulty(), &[ProcessorId::new(2)]);
         assert_eq!(t.events()[0].processor(), ProcessorId::new(2));
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let mut a = Trace::new(2);
+        a.push_event(step(0, 1));
+        a.push_msg(msg(0, 0, 1, 0));
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        // Same events, one extra delivery note: digests must diverge.
+        b.note_delivery(MsgId(0), 0, LocalClock::new(1));
+        assert_ne!(a.digest(), b.digest());
+        // Event order matters.
+        let mut c = Trace::new(2);
+        c.push_event(step(1, 1));
+        c.push_event(step(0, 1));
+        let mut d = Trace::new(2);
+        d.push_event(step(0, 1));
+        d.push_event(step(1, 1));
+        assert_ne!(c.digest(), d.digest());
+        assert_eq!(c.event_count(), 2);
     }
 
     #[test]
