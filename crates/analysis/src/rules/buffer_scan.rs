@@ -1,0 +1,96 @@
+//! Rule `buffer-linear-scan`: scan-then-remove on message buffers.
+//!
+//! The scheduler overhaul replaced the per-destination `Vec` pending
+//! buffers with an indexed [`MsgStore`]-style slab: insert, lookup,
+//! cancel, and delivery are all O(1), and the store is the *single*
+//! owner of removal. This rule keeps the old pattern from creeping
+//! back: in the deterministic crates, finding a message by
+//! `.iter().position(..)` and then calling `.remove(pos)` on a
+//! buffer-named receiver is O(n) per delivery — O(n²) per drained
+//! buffer — and re-introduces exactly the hot-path cost the slab
+//! removed. Route removals through the store (or another id-indexed
+//! structure) instead. A scan that is genuinely not over a message
+//! buffer (e.g. a bounded crash-plan list) can carry an
+//! `rtc-allow(buffer-linear-scan): <why>`.
+
+use crate::diag::Diagnostic;
+use crate::engine::Workspace;
+use crate::rules::{in_deterministic_scope, Rule};
+
+/// Receiver-name fragments that identify a message-buffer-like
+/// container. Matched against the scrubbed text near the scan.
+const BUFFER_TOKENS: [&str; 7] = [
+    "buf", "pending", "queue", "inbox", "mailbox", "msgs", "messages",
+];
+
+/// How many lines before a `.position(` anchor the (possibly
+/// chain-split) receiver may sit.
+const RECV_BACK: usize = 3;
+
+/// How many lines after the anchor the paired `.remove(` may sit —
+/// `let pos = ..position(..); buf.remove(pos)` patterns stay close.
+const REMOVE_AHEAD: usize = 6;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct BufferLinearScan;
+
+impl Rule for BufferLinearScan {
+    fn name(&self) -> &'static str {
+        "buffer-linear-scan"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no position()+remove() linear scans on message buffers in deterministic crates"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| in_deterministic_scope(&f.crate_name))
+        {
+            let anchors: Vec<usize> = file
+                .prod_lines()
+                .filter(|(_, l)| l.contains(".position("))
+                .map(|(n, _)| n)
+                .collect();
+            for anchor in anchors {
+                // The receiver of a rustfmt-split chain may sit a couple
+                // of lines above `.position(`; the paired removal a few
+                // lines below.
+                let near_buffer = (anchor.saturating_sub(RECV_BACK)..=anchor + REMOVE_AHEAD)
+                    .filter_map(|n| file.code.get(n.saturating_sub(1)))
+                    .any(|l| BUFFER_TOKENS.iter().any(|t| l.contains(t)));
+                if !near_buffer {
+                    continue;
+                }
+                let Some(remove_line) = (anchor..=anchor + REMOVE_AHEAD).find(|n| {
+                    file.code
+                        .get(n.saturating_sub(1))
+                        .is_some_and(|l| l.contains(".remove(") || l.contains(".swap_remove("))
+                }) else {
+                    continue;
+                };
+                if file.is_test.get(remove_line - 1).copied().unwrap_or(false) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel_path,
+                    remove_line,
+                    format!(
+                        "linear scan-then-remove on a message buffer (position at line \
+                         {anchor}): this is O(n) per delivery on a hot scheduler path; \
+                         key the buffer by message id and remove in O(1) via the \
+                         indexed store"
+                    ),
+                    file.snippet(remove_line),
+                ));
+            }
+        }
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line);
+        out
+    }
+}

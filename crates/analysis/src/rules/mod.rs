@@ -10,6 +10,7 @@ use crate::diag::Diagnostic;
 use crate::engine::Workspace;
 
 mod alloc_fanout;
+mod buffer_scan;
 mod determinism;
 mod exhaustive;
 mod panic_path;
@@ -17,6 +18,7 @@ mod unbounded_recv;
 mod unordered_iter;
 
 pub use alloc_fanout::AllocInFanout;
+pub use buffer_scan::BufferLinearScan;
 pub use determinism::WallClock;
 pub use exhaustive::MessageExhaustiveness;
 pub use panic_path::PanicInProtocolPath;
@@ -42,6 +44,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnorderedIter),
         Box::new(PanicInProtocolPath),
         Box::new(AllocInFanout),
+        Box::new(BufferLinearScan),
         Box::new(UnboundedRecv),
         Box::new(MessageExhaustiveness),
     ]

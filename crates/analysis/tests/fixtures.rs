@@ -53,6 +53,13 @@ fn corpus() -> Vec<(
             include_str!("fixtures/alloc_fanout_negative.rs"),
         ),
         (
+            "buffer-linear-scan",
+            "rtc-sim",
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/buffer_scan_positive.rs"),
+            include_str!("fixtures/buffer_scan_negative.rs"),
+        ),
+        (
             "unbounded-recv",
             "rtc-runtime",
             "crates/runtime/src/fixture.rs",

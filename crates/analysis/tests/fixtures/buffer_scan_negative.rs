@@ -1,0 +1,12 @@
+//! Negative fixture for `buffer-linear-scan`: removal goes through the
+//! id-indexed store in O(1), and the only `.position(` in sight is over
+//! a non-buffer slice with no paired removal.
+//! Not compiled — scanned by `fixtures.rs`.
+
+pub fn take_buffered(store: &mut MsgStore, id: MsgId) -> Option<MsgMeta> {
+    store.remove(id).map(|(_, meta)| meta)
+}
+
+pub fn column_of(widths: &[usize], x: usize) -> Option<usize> {
+    widths.iter().position(|w| *w >= x)
+}

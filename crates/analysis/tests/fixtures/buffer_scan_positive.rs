@@ -1,0 +1,8 @@
+//! Positive fixture for `buffer-linear-scan`: the pre-overhaul delivery
+//! path — find the message by a linear scan, then shift-remove it.
+//! Not compiled — scanned by `fixtures.rs`.
+
+pub fn take_buffered(buf: &mut Vec<MsgMeta>, id: MsgId) -> Option<MsgMeta> {
+    let pos = buf.iter().position(|m| m.id == id)?;
+    Some(buf.remove(pos))
+}

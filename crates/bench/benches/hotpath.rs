@@ -13,9 +13,10 @@
 //! * **Timings** (criterion, informational): ns/msg on the sync-commit
 //!   hot path, stage latency vs `n`, and chaos-campaign throughput.
 //!   Skipped in `--test` smoke mode.
-//! * **`pre_pr/` references**: the same kernels measured on the tree
-//!   *before* the allocation overhaul, frozen below so the improvement
-//!   is recorded in the bench output itself.
+//! * **Frozen references**: the same kernels measured on the tree
+//!   *before* each optimization PR — `pre_pr/` (allocation overhaul)
+//!   and `pre_scheduler/` (scheduler data-structure overhaul) — so the
+//!   improvement trail is recorded in the bench output itself.
 //!
 //! Run with `cargo bench -p rtc-bench --bench hotpath`; the JSON lands
 //! at the repo root (override with `BENCH_RTC_PATH`).
@@ -110,6 +111,26 @@ const PRE_PR: &[(&str, f64, &str, bool)] = &[
     ("time/stage_latency/n16", 632.929, "us/run", false),
     ("time/stage_latency/n32", 3475.329, "us/run", false),
     ("time/campaign_sim40_serial", 131.237, "ms", false),
+];
+
+/// The pre-scheduler-overhaul measurements (commit 19dfa31, this
+/// machine), frozen the same way: the scheduler data-structure overhaul
+/// (indexed message store + batched stepping) is measured against
+/// these. Layout: (name, value, unit, deterministic).
+const PRE_SCHEDULER: &[(&str, f64, &str, bool)] = &[
+    ("time/sim_steps_per_sec/n16", 384719.854, "steps/sec", false),
+    ("time/sim_steps_per_sec/n32", 229933.538, "steps/sec", false),
+    ("time/sim_step/n16", 2599.294, "ns/step", false),
+    ("time/sim_step/n32", 4349.083, "ns/step", false),
+    (
+        "time/campaign_throughput/sim40",
+        326.944,
+        "schedules/sec",
+        false,
+    ),
+    ("time/sync_commit/n16", 390.772, "us/run", false),
+    ("time/sync_commit_ns_per_msg/n16", 420.185, "ns/msg", false),
+    ("alloc/sync_commit_total/n16", 1295.0, "allocs/run", true),
 ];
 
 fn cfg(n: usize) -> CommitConfig {
@@ -230,7 +251,7 @@ fn soak_schedule(n: usize, t: usize, seed: u64) -> ChaosSchedule {
 fn measure_sim_throughput(metrics: &mut Vec<Metric>) {
     for n in [16usize, 32] {
         let config = cfg(n);
-        const REPS: u64 = 6;
+        const REPS: u64 = 24;
         // Warm-up run outside the timed region.
         {
             let schedule = soak_schedule(n, config.fault_bound(), 0x50AC);
@@ -410,14 +431,16 @@ fn main() {
         metrics.extend(timing_metrics(msgs_per_run));
     }
 
-    for (name, value, unit, deterministic) in PRE_PR {
-        metrics.push(Metric {
-            name: format!("pre_pr/{name}"),
-            value: *value,
-            unit: (*unit).to_string(),
-            deterministic: *deterministic,
-            higher_is_better: false,
-        });
+    for (prefix, refs) in [("pre_pr", PRE_PR), ("pre_scheduler", PRE_SCHEDULER)] {
+        for (name, value, unit, deterministic) in refs {
+            metrics.push(Metric {
+                name: format!("{prefix}/{name}"),
+                value: *value,
+                unit: (*unit).to_string(),
+                deterministic: *deterministic,
+                higher_is_better: false,
+            });
+        }
     }
 
     let report = BenchReport {

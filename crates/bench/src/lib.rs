@@ -39,8 +39,10 @@ pub const SCHEMA: &str = "rtc-bench-v1";
 #[derive(Clone, Debug, PartialEq)]
 pub struct Metric {
     /// Hierarchical name, e.g. `alloc/fanout_allocs_per_send/n16`.
-    /// Names prefixed `pre_pr/` are the frozen pre-optimization
-    /// reference measurements this PR is compared against.
+    /// Names prefixed `pre_pr/` (allocation overhaul) or
+    /// `pre_scheduler/` (scheduler overhaul) are frozen pre-optimization
+    /// reference measurements, recorded for the improvement trail and
+    /// never compared.
     pub name: String,
     /// The measured value; for every metric in this suite, lower is
     /// better.
@@ -255,10 +257,10 @@ impl std::fmt::Display for Regression {
 ///
 /// Only deterministic metrics gate by default; pass
 /// `include_timings = true` to also gate wall-clock metrics (meaningful
-/// only when both files come from the same machine). `pre_pr/` metrics
-/// are frozen historical references, never compared. Metrics present in
-/// only one file are ignored (adding a new benchmark is not a
-/// regression).
+/// only when both files come from the same machine). `pre_*/` metrics
+/// (`pre_pr/`, `pre_scheduler/`) are frozen historical references,
+/// never compared. Metrics present in only one file are ignored (adding
+/// a new benchmark is not a regression).
 pub fn regressions(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -286,7 +288,7 @@ pub fn regressions_split(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for base in &baseline.metrics {
-        if base.name.starts_with("pre_pr/") {
+        if base.name.starts_with("pre_") {
             continue;
         }
         let tolerance = if base.deterministic {

@@ -8,12 +8,10 @@
 //! bounded interference, never permanent partition, exactly as in the
 //! paper's model.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rtc_model::ProcessorId;
-use rtc_sim::{Action, Adversary, MsgHandle, MsgId, PatternView};
+use rtc_sim::{Action, Adversary, MsgHandle, PatternView};
 
 use crate::schedule::{ChaosCrash, ChaosDelay, ChaosSchedule};
 
@@ -27,8 +25,16 @@ pub struct ChaosAdversary {
     pending_crashes: Vec<ChaosCrash>,
     flaps: Vec<(ProcessorId, ProcessorId, u64, u64)>,
     /// Per-message delivery event, sampled once on first sight.
-    due: HashMap<MsgId, u64>,
+    /// `MsgId`s are dense run-unique integers, so this is a direct map
+    /// indexed by id (`u64::MAX` = not yet sampled) — the adversary
+    /// touches every buffered message of the stepping processor on
+    /// every event, and a hash lookup per message dominated the
+    /// scheduler hot path.
+    due: Vec<u64>,
 }
+
+/// Sentinel for "delivery event not yet sampled".
+const UNSAMPLED: u64 = u64::MAX;
 
 impl ChaosAdversary {
     /// Builds the adversary for `schedule`. The delay regime is driven
@@ -50,28 +56,31 @@ impl ChaosAdversary {
                 .iter()
                 .map(|f| (f.a, f.b, f.from_step * n as u64, f.until_step * n as u64))
                 .collect(),
-            due: HashMap::new(),
+            due: Vec::new(),
         }
     }
 
     fn due_of(&mut self, m: &MsgHandle) -> u64 {
-        let n = self.n as u64;
-        let delay = self.delay;
-        let rng = &mut self.rng;
-        *self.due.entry(m.id).or_insert_with(|| {
-            let lag = match delay {
+        let idx = m.id.index();
+        if idx >= self.due.len() {
+            self.due.resize(idx + 1, UNSAMPLED);
+        }
+        if self.due[idx] == UNSAMPLED {
+            let n = self.n as u64;
+            let lag = match self.delay {
                 ChaosDelay::None => 0,
-                ChaosDelay::Jitter { max_steps } => rng.gen_range(0..=max_steps * n),
+                ChaosDelay::Jitter { max_steps } => self.rng.gen_range(0..=max_steps * n),
                 ChaosDelay::Spike { permille, steps } => {
-                    if rng.gen_range(0..1000u32) < permille {
+                    if self.rng.gen_range(0..1000u32) < permille {
                         steps * n
                     } else {
                         0
                     }
                 }
             };
-            m.send_event + lag
-        })
+            self.due[idx] = m.send_event + lag;
+        }
+        self.due[idx]
     }
 
     fn flapped(&self, from: ProcessorId, to: ProcessorId, event: u64) -> bool {
@@ -89,6 +98,9 @@ impl Adversary for ChaosAdversary {
         if let Some(pos) = self.pending_crashes.iter().position(|c| {
             !view.is_crashed(c.victim) && view.clock_of(c.victim).ticks() >= c.at_step
         }) {
+            // Not a message buffer: the scripted crash plan holds at
+            // most a handful of one-shot entries, and order matters.
+            // rtc-allow(buffer-linear-scan): bounded crash-plan list
             let c = self.pending_crashes.remove(pos);
             let drop = if c.drop_final_sends {
                 view.last_sends_of(c.victim)
@@ -113,9 +125,10 @@ impl Adversary for ChaosAdversary {
             }
         }
         let event = view.event();
-        let mut deliver = Vec::new();
-        for m in view.pending(p) {
-            if self.flapped(m.from, p, event) {
+        let mut deliver = Vec::with_capacity(view.pending_count(p));
+        let any_flaps = !self.flaps.is_empty();
+        for m in view.pending_iter(p) {
+            if any_flaps && self.flapped(m.from, p, event) {
                 continue;
             }
             if event >= self.due_of(&m) {

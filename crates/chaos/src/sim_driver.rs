@@ -13,7 +13,7 @@
 use rtc_core::properties::verify_commit_run;
 use rtc_core::{commit_population, CommitAutomaton, CommitConfig};
 use rtc_model::{Recoverable, SeedCollection, TimingParams};
-use rtc_sim::{RunLimits, SimBuilder};
+use rtc_sim::{SimBuilder, StopWhen};
 
 use crate::adversary::ChaosAdversary;
 use crate::outcome::{classify_verdict, ChaosReport, Substrate};
@@ -57,18 +57,20 @@ pub fn run_on_sim(schedule: &ChaosSchedule, max_events: u64) -> ChaosReport {
             .first()
             .map_or(max_events, |(_, due)| (*due).min(max_events))
             .max(1);
-        let rep = sim
-            .run(&mut adv, RunLimits::with_max_events(segment_cap))
+        // Drive the whole quantum through the engine's batched loop;
+        // the per-segment report is only built once, after the loop.
+        let met = sim
+            .run_until(&mut adv, segment_cap, StopWhen::AllNonfaultyDecided)
             .expect("chaos adversary stays within the model");
-        if !rep.stalled() || segment_cap >= max_events {
-            break rep;
+        if met || segment_cap >= max_events {
+            break sim.report(!met, true);
         }
-        let event = rep.events();
+        let event = sim.events_executed();
         let mut i = 0;
         while i < pending.len() {
             if pending[i].1 > event {
                 i += 1;
-            } else if rep.is_faulty(pending[i].0.victim) {
+            } else if sim.is_crashed(pending[i].0.victim) {
                 let (r, _) = pending.remove(i);
                 let auto = if r.from_snapshot {
                     CommitAutomaton::restore(&sim.automaton(r.victim).snapshot())

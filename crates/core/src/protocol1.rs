@@ -27,6 +27,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+
 use std::sync::Arc;
 
 use rtc_model::{Automaton, Delivery, ProcessorId, Send, Status, StepRng, Value};
@@ -72,10 +73,48 @@ enum Waiting {
 }
 
 /// Per-stage bulletin board: who sent what, deduplicated by sender.
-#[derive(Clone, Debug, Default)]
+///
+/// Dense per-processor tables, not search trees: the board is posted to
+/// on every `Agree` delivery — the per-message hot path of the whole
+/// commit run — so a post must be an index plus a counter bump.
+#[derive(Clone, Debug)]
 struct StageBoard {
-    first: BTreeMap<ProcessorId, Value>,
-    second: BTreeMap<ProcessorId, Option<Value>>,
+    /// `first[p]` = the first-exchange value heard from `p`.
+    first: Vec<Option<Value>>,
+    first_count: usize,
+    /// `second[p]` = the second-exchange message heard from `p`
+    /// (`Some(None)` is a posted `⊥`).
+    second: Vec<Option<Option<Value>>>,
+    second_count: usize,
+}
+
+impl StageBoard {
+    fn new(n: usize) -> StageBoard {
+        StageBoard {
+            first: vec![None; n],
+            first_count: 0,
+            second: vec![None; n],
+            second_count: 0,
+        }
+    }
+
+    /// Posts a first-exchange value from `from` (first one counts).
+    fn post_first(&mut self, from: ProcessorId, v: Value) {
+        let slot = &mut self.first[from.index()];
+        if slot.is_none() {
+            *slot = Some(v);
+            self.first_count += 1;
+        }
+    }
+
+    /// Posts a second-exchange message from `from` (first one counts).
+    fn post_second(&mut self, from: ProcessorId, v: Option<Value>) {
+        let slot = &mut self.second[from.index()];
+        if slot.is_none() {
+            *slot = Some(v);
+            self.second_count += 1;
+        }
+    }
 }
 
 /// The embeddable Protocol 1 state machine.
@@ -167,14 +206,14 @@ impl Agreement {
     /// same exchange are ignored, which cannot occur in the fail-stop
     /// model but keeps the board robust.
     pub fn ingest(&mut self, from: ProcessorId, msg: AgreementMsg) {
-        let board = self.boards.entry(msg.stage()).or_default();
+        let n = self.n;
+        let board = self
+            .boards
+            .entry(msg.stage())
+            .or_insert_with(|| StageBoard::new(n));
         match msg {
-            AgreementMsg::First { value, .. } => {
-                board.first.entry(from).or_insert(value);
-            }
-            AgreementMsg::Second { value, .. } => {
-                board.second.entry(from).or_insert(value);
-            }
+            AgreementMsg::First { value, .. } => board.post_first(from, value),
+            AgreementMsg::Second { value, .. } => board.post_second(from, value),
         }
     }
 
@@ -188,16 +227,20 @@ impl Agreement {
         loop {
             let quorum = self.quorum();
             let stage = self.stage;
+            let n = self.n;
             match self.waiting {
                 Waiting::First => {
-                    let board = self.boards.entry(stage).or_default();
-                    if board.first.len() < quorum {
+                    let board = self
+                        .boards
+                        .entry(stage)
+                        .or_insert_with(|| StageBoard::new(n));
+                    if board.first_count < quorum {
                         break;
                     }
                     // Instruction 3: strict majority of the population
                     // size among the first-exchange messages received.
                     let mut counts = [0usize; 2];
-                    for v in board.first.values() {
+                    for v in board.first.iter().flatten() {
                         counts[v.as_u8() as usize] += 1;
                     }
                     let second_value = if 2 * counts[1] > self.n {
@@ -216,14 +259,17 @@ impl Agreement {
                     self.waiting = Waiting::Second;
                 }
                 Waiting::Second => {
-                    let board = self.boards.entry(stage).or_default();
-                    if board.second.len() < quorum {
+                    let board = self
+                        .boards
+                        .entry(stage)
+                        .or_insert_with(|| StageBoard::new(n));
+                    if board.second_count < quorum {
                         break;
                     }
                     // Gather S-message statistics.
                     let mut s_value: Option<Value> = None;
                     let mut s_count = 0usize;
-                    for v in board.second.values().flatten() {
+                    for v in board.second.iter().flatten().flatten() {
                         match s_value {
                             None => {
                                 s_value = Some(*v);
@@ -289,11 +335,11 @@ impl Agreement {
                 continue;
             }
             if let Some(board) = self.boards.get(&stage) {
-                if let Some(v) = board.first.get(&self.id) {
-                    out.push(AgreementMsg::First { stage, value: *v });
+                if let Some(v) = board.first[self.id.index()] {
+                    out.push(AgreementMsg::First { stage, value: v });
                 }
-                if let Some(v) = board.second.get(&self.id) {
-                    out.push(AgreementMsg::Second { stage, value: *v });
+                if let Some(v) = board.second[self.id.index()] {
+                    out.push(AgreementMsg::Second { stage, value: v });
                 }
             }
         }

@@ -22,7 +22,7 @@
 //!   votes, so every input to Protocol 1 is 0 and — by Protocol 1's
 //!   validity — the common decision is already fixed at abort.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -122,9 +122,17 @@ pub struct CommitAutomaton {
     initval: Value,
     coins: Option<Arc<CoinList>>,
     phase: CommitPhase,
-    go_senders: BTreeSet<ProcessorId>,
+    /// Which processors this one has heard a `GO` from, as a dense
+    /// per-processor table plus a count. Every delivery touches this
+    /// (any message carrying coins doubles as a `GO`), so it must be an
+    /// index, not a search tree.
+    go_seen: Vec<bool>,
+    go_count: usize,
     go_wait_start: Option<u64>,
-    votes: BTreeMap<ProcessorId, Value>,
+    /// First vote heard from each processor, dense by processor index
+    /// (same hot-path reasoning as `go_seen`).
+    votes: Vec<Option<Value>>,
+    vote_count: usize,
     vote_wait_start: Option<u64>,
     pending_agree: Vec<(ProcessorId, AgreementMsg)>,
     agreement: Option<Agreement>,
@@ -171,9 +179,11 @@ impl CommitAutomaton {
             initval,
             coins: None,
             phase: CommitPhase::AwaitGo,
-            go_senders: BTreeSet::new(),
+            go_seen: vec![false; cfg.population()],
+            go_count: 0,
             go_wait_start: None,
-            votes: BTreeMap::new(),
+            votes: vec![None; cfg.population()],
+            vote_count: 0,
             vote_wait_start: None,
             pending_agree: Vec::new(),
             agreement: None,
@@ -241,19 +251,37 @@ impl CommitAutomaton {
         self.adopted
     }
 
+    /// Records a `GO` heard from `p` (first one counts).
+    fn mark_go(&mut self, p: ProcessorId) {
+        let slot = &mut self.go_seen[p.index()];
+        if !*slot {
+            *slot = true;
+            self.go_count += 1;
+        }
+    }
+
+    /// Records a vote heard from `p` (first one counts).
+    fn mark_vote(&mut self, p: ProcessorId, v: Value) {
+        let slot = &mut self.votes[p.index()];
+        if slot.is_none() {
+            *slot = Some(v);
+            self.vote_count += 1;
+        }
+    }
+
     fn ingest(&mut self, d: &Delivery<CommitMsg>) {
         if let Some(coins) = &d.msg.go {
             // Any message carrying coins doubles as a GO from its sender;
             // adopting them is a reference-count bump on the
             // coordinator's single flip allocation.
             self.coins.get_or_insert_with(|| Arc::clone(coins));
-            self.go_senders.insert(d.from);
+            self.mark_go(d.from);
         }
         for kind in d.msg.kinds.iter() {
             match kind {
                 CommitKind::Go => {}
                 CommitKind::Vote(v) => {
-                    self.votes.entry(d.from).or_insert(*v);
+                    self.mark_vote(d.from, *v);
                 }
                 CommitKind::Agree(am) => match &mut self.agreement {
                     Some(agreement) => agreement.ingest(d.from, *am),
@@ -290,8 +318,8 @@ impl CommitAutomaton {
             out.push(CommitKind::Go);
         }
         if matches!(self.phase, CommitPhase::AwaitVotes | CommitPhase::Agreeing) {
-            if let Some(v) = self.votes.get(&self.id) {
-                out.push(CommitKind::Vote(*v));
+            if let Some(v) = self.votes[self.id.index()] {
+                out.push(CommitKind::Vote(v));
             }
         }
         if let Some(agreement) = &self.agreement {
@@ -321,7 +349,7 @@ impl CommitAutomaton {
                     if self.coins.is_some() {
                         // Instruction 3: relay GO (the coordinator's
                         // broadcast and the relay are the same send here).
-                        self.go_senders.insert(self.id);
+                        self.mark_go(self.id);
                         out.push(CommitKind::Go);
                         self.go_wait_start = Some(self.clock);
                         self.phase = CommitPhase::AwaitGoQuorum;
@@ -330,7 +358,7 @@ impl CommitAutomaton {
                     }
                 }
                 CommitPhase::AwaitGoQuorum => {
-                    let all_go = self.go_senders.len() == n;
+                    let all_go = self.go_count == n;
                     if !all_go && !self.timed_out(self.go_wait_start) {
                         break;
                     }
@@ -340,7 +368,7 @@ impl CommitAutomaton {
                     }
                     // Instruction 7: broadcast the vote; a processor whose
                     // vote is abort may implement the abort right away.
-                    self.votes.insert(self.id, self.vote);
+                    self.mark_vote(self.id, self.vote);
                     out.push(CommitKind::Vote(self.vote));
                     if self.vote == Value::Zero && self.cfg.early_abort() {
                         self.decided.get_or_insert(Value::Zero);
@@ -350,12 +378,12 @@ impl CommitAutomaton {
                     self.phase = CommitPhase::AwaitVotes;
                 }
                 CommitPhase::AwaitVotes => {
-                    let all_votes = self.votes.len() == n;
+                    let all_votes = self.vote_count == n;
                     if !all_votes && !self.timed_out(self.vote_wait_start) {
                         break;
                     }
                     // Instructions 9–11: x_p = 1 iff n commit votes.
-                    let xp = if all_votes && self.votes.values().all(|v| *v == Value::One) {
+                    let xp = if all_votes && self.votes.iter().flatten().all(|v| *v == Value::One) {
                         Value::One
                     } else {
                         Value::Zero

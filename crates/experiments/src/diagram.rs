@@ -13,7 +13,7 @@
 //! long runs, pass a window to keep the output readable.
 
 use rtc_model::{ProcessorId, Value};
-use rtc_sim::{EventRecord, Trace};
+use rtc_sim::{EventView, Trace};
 
 /// Rendering options.
 #[derive(Clone, Copy, Debug)]
@@ -46,21 +46,21 @@ pub fn render(trace: &Trace, opts: DiagramOptions) -> String {
     out.push('\n');
     out.push_str(&"-".repeat(6 + col * n));
     out.push('\n');
-    let events = trace.events();
-    let end = (opts.from_event + opts.max_events).min(events.len());
-    for (idx, ev) in events.iter().enumerate().take(end).skip(opts.from_event) {
+    let total = trace.event_count();
+    let end = (opts.from_event + opts.max_events).min(total);
+    for (idx, ev) in trace.events().enumerate().take(end).skip(opts.from_event) {
         let mut cells = vec![String::new(); n];
         let mut note = String::new();
         match ev {
-            EventRecord::Crash { p } => {
+            EventView::Crash { p } => {
                 cells[p.index()].push('X');
                 note = format!("{p} crashed");
             }
-            EventRecord::Revive { p } => {
+            EventView::Revive { p } => {
                 cells[p.index()].push('R');
                 note = format!("{p} revived");
             }
-            EventRecord::Step {
+            EventView::Step {
                 p, delivered, sent, ..
             } => {
                 let cell = &mut cells[p.index()];
@@ -71,7 +71,7 @@ pub fn render(trace: &Trace, opts: DiagramOptions) -> String {
                 if !sent.is_empty() {
                     cell.push('>');
                 }
-                if let Some(d) = trace.decision_of(*p) {
+                if let Some(d) = trace.decision_of(p) {
                     if d.event == idx as u64 {
                         cell.push('D');
                         note = format!(
@@ -95,8 +95,8 @@ pub fn render(trace: &Trace, opts: DiagramOptions) -> String {
         }
         out.push('\n');
     }
-    if end < events.len() {
-        out.push_str(&format!("... ({} more events)\n", events.len() - end));
+    if end < total {
+        out.push_str(&format!("... ({} more events)\n", total - end));
     }
     out
 }

@@ -60,8 +60,7 @@ impl Adversary for SynchronousAdversary {
     fn next(&mut self, view: &PatternView<'_>) -> Action {
         let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
         let deliver = view
-            .pending(p)
-            .into_iter()
+            .pending_iter(p)
             .filter(|m| view.event().saturating_sub(m.send_event) >= self.lag)
             .map(|m| m.id)
             .collect();
@@ -140,8 +139,7 @@ impl Adversary for RandomAdversary {
             // nobody-ever-hears-anything schedule.
             let still_live = alive.iter().any(|p| {
                 *p != victim
-                    && (self.received[p.index()]
-                        || view.pending(*p).iter().any(|m| m.from != victim))
+                    && (self.received[p.index()] || view.pending_iter(*p).any(|m| m.from != victim))
             });
             if still_live {
                 let drop: Vec<MsgId> = view
@@ -154,10 +152,11 @@ impl Adversary for RandomAdversary {
             }
         }
         let p = alive[self.rng.gen_range(0..alive.len())];
+        let prob = self.deliver_prob;
+        let rng = &mut self.rng;
         let deliver: Vec<MsgId> = view
-            .pending(p)
-            .into_iter()
-            .filter(|_| self.rng.gen_bool(self.deliver_prob))
+            .pending_iter(p)
+            .filter(|_| rng.gen_bool(prob))
             .map(|m| m.id)
             .collect();
         if !deliver.is_empty() {
@@ -281,8 +280,7 @@ impl Adversary for DelayAdversary {
     fn next(&mut self, view: &PatternView<'_>) -> Action {
         let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
         let deliver = view
-            .pending(p)
-            .into_iter()
+            .pending_iter(p)
             .filter(|m| view.event().saturating_sub(m.send_event) >= self.hold_events)
             .map(|m| m.id)
             .collect();
@@ -326,8 +324,7 @@ impl Adversary for PartitionAdversary {
     fn next(&mut self, view: &PatternView<'_>) -> Action {
         let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
         let deliver = view
-            .pending(p)
-            .into_iter()
+            .pending_iter(p)
             .filter(|m| self.same_side(m.from, p))
             .map(|m| m.id)
             .collect();
@@ -377,8 +374,7 @@ impl Adversary for HealingPartitionAdversary {
         let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
         let healed = view.event() >= self.heal_at;
         let deliver = view
-            .pending(p)
-            .into_iter()
+            .pending_iter(p)
             .filter(|m| healed || self.in_group_a[m.from.index()] == self.in_group_a[p.index()])
             .map(|m| m.id)
             .collect();
@@ -420,8 +416,7 @@ impl Adversary for SelectiveDelayAdversary {
     fn next(&mut self, view: &PatternView<'_>) -> Action {
         let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
         let deliver = view
-            .pending(p)
-            .into_iter()
+            .pending_iter(p)
             .filter(|m| {
                 !(self.matches)(m) || view.event().saturating_sub(m.send_event) >= self.hold_events
             })
@@ -497,7 +492,7 @@ impl Adversary for AdaptiveAdversary {
         // Track send volume from the pattern (messages pending anywhere
         // were sent by someone; last_sends tells us recent activity).
         for p in view.alive() {
-            for m in view.pending(p) {
+            for m in view.pending_iter(p) {
                 // Count each pending message once per observation is
                 // noisy but pattern-legal; decay keeps it bounded.
                 self.sent_counts[m.from.index()] =
@@ -531,8 +526,7 @@ impl Adversary for AdaptiveAdversary {
             .min_by_key(|p| (view.clock_of(*p), p.index()))
             .expect("some processor is alive");
         let deliver = view
-            .pending(p)
-            .into_iter()
+            .pending_iter(p)
             .filter(|m| view.event().saturating_sub(m.send_event) >= self.hold_events)
             .map(|m| m.id)
             .collect();
@@ -608,22 +602,70 @@ mod tests {
     use rtc_model::LocalClock;
 
     use crate::envelope::MsgMeta;
+    use crate::store::MsgStore;
 
-    fn view<'a>(
-        buffers: &'a [Vec<MsgMeta>],
-        clocks: &'a [LocalClock],
-        crashed: &'a [bool],
-        last: &'a [Option<u64>],
+    /// Owns the engine-side state a [`PatternView`] borrows from, built
+    /// from the per-destination buffer contents a test describes.
+    struct Fixture {
+        store: MsgStore,
+        last_sent: Vec<Vec<MsgId>>,
+        clocks: Vec<LocalClock>,
+        crashed: Vec<bool>,
+        last: Vec<Option<u64>>,
         event: u64,
-    ) -> PatternView<'a> {
-        PatternView {
-            buffers,
-            clocks,
-            crashed,
-            last_step_event: last,
+    }
+
+    fn fixture(
+        buffers: &[Vec<MsgMeta>],
+        clocks: &[LocalClock],
+        crashed: &[bool],
+        last: &[Option<u64>],
+        event: u64,
+    ) -> Fixture {
+        let n = buffers.len();
+        let mut store = MsgStore::new(n);
+        for metas in buffers {
+            for m in metas {
+                store.insert(*m);
+            }
+        }
+        // Rebuild each processor's droppable-sends cache the way the
+        // engine maintains it: last-step sends, sorted by destination.
+        let mut last_sent = vec![Vec::new(); n];
+        for (p, slot) in last_sent.iter_mut().enumerate() {
+            if let Some(ev) = last[p] {
+                let mut sends: Vec<(usize, MsgId)> = buffers
+                    .iter()
+                    .flatten()
+                    .filter(|m| m.from.index() == p && m.send_event == ev)
+                    .map(|m| (m.to.index(), m.id))
+                    .collect();
+                sends.sort_unstable();
+                *slot = sends.into_iter().map(|(_, id)| id).collect();
+            }
+        }
+        Fixture {
+            store,
+            last_sent,
+            clocks: clocks.to_vec(),
+            crashed: crashed.to_vec(),
+            last: last.to_vec(),
             event,
-            fault_budget: 1,
-            crashes_used: 0,
+        }
+    }
+
+    impl Fixture {
+        fn view(&self) -> PatternView<'_> {
+            PatternView {
+                store: &self.store,
+                last_sent: &self.last_sent,
+                clocks: &self.clocks,
+                crashed: &self.crashed,
+                last_step_event: &self.last,
+                event: self.event,
+                fault_budget: 1,
+                crashes_used: 0,
+            }
         }
     }
 
@@ -645,7 +687,8 @@ mod tests {
         let crashed = vec![false, false];
         let last = vec![None, Some(0)];
         let mut adv = SynchronousAdversary::new(2);
-        let v = view(&buffers, &clocks, &crashed, &last, 1);
+        let fx = fixture(&buffers, &clocks, &crashed, &last, 1);
+        let v = fx.view();
         match adv.next(&v) {
             Action::Step { p, deliver } => {
                 assert_eq!(p, ProcessorId::new(0));
@@ -666,7 +709,8 @@ mod tests {
         let crashed = vec![true, false];
         let last = vec![None, None];
         let mut adv = SynchronousAdversary::new(2);
-        let v = view(&buffers, &clocks, &crashed, &last, 0);
+        let fx = fixture(&buffers, &clocks, &crashed, &last, 0);
+        let v = fx.view();
         for _ in 0..3 {
             match adv.next(&v) {
                 Action::Step { p, .. } => assert_eq!(p, ProcessorId::new(1)),
@@ -682,13 +726,15 @@ mod tests {
         let crashed = vec![false, false];
         let last = vec![None, Some(0)];
         let mut adv = DelayAdversary::new(2, 3); // hold for 6 events
-        let early = view(&buffers, &clocks, &crashed, &last, 4);
+        let early_fx = fixture(&buffers, &clocks, &crashed, &last, 4);
+        let early = early_fx.view();
         match adv.next(&early) {
             Action::Step { deliver, .. } => assert!(deliver.is_empty()),
             other => panic!("unexpected action {other:?}"),
         }
         let mut adv = DelayAdversary::new(2, 3);
-        let due = view(&buffers, &clocks, &crashed, &last, 6);
+        let due_fx = fixture(&buffers, &clocks, &crashed, &last, 6);
+        let due = due_fx.view();
         match adv.next(&due) {
             Action::Step { deliver, .. } => assert_eq!(deliver, vec![MsgId(0)]),
             other => panic!("unexpected action {other:?}"),
@@ -703,7 +749,8 @@ mod tests {
         let last = vec![Some(0), Some(0)];
         let mut adv = PartitionAdversary::new(2, &[ProcessorId::new(0)]);
         assert!(!Adversary::admissible(&adv));
-        let v = view(&buffers, &clocks, &crashed, &last, 1);
+        let fx = fixture(&buffers, &clocks, &crashed, &last, 1);
+        let v = fx.view();
         match adv.next(&v) {
             Action::Step { p, deliver } => {
                 assert_eq!(p, ProcessorId::new(0));
@@ -722,7 +769,8 @@ mod tests {
         let last = vec![Some(0), Some(0)];
         let mut adv =
             SelectiveDelayAdversary::new(2, 100, |m: &MsgHandle| m.from == ProcessorId::new(1));
-        let v = view(&buffers, &clocks, &crashed, &last, 5);
+        let fx = fixture(&buffers, &clocks, &crashed, &last, 5);
+        let v = fx.view();
         match adv.next(&v) {
             Action::Step { deliver, .. } => assert_eq!(deliver, vec![MsgId(1)]),
             other => panic!("unexpected action {other:?}"),
@@ -736,7 +784,8 @@ mod tests {
         let crashed = vec![false, false];
         let last = vec![None, None];
         let mut adv = AdaptiveAdversary::new(1);
-        let v = view(&buffers, &clocks, &crashed, &last, 0);
+        let fx = fixture(&buffers, &clocks, &crashed, &last, 0);
+        let v = fx.view();
         match adv.next(&v) {
             Action::Step { p, .. } => assert_eq!(p, ProcessorId::new(1)),
             other => panic!("unexpected action {other:?}"),
@@ -750,7 +799,8 @@ mod tests {
         let crashed = vec![false, false];
         let last = vec![None, Some(90)];
         let mut adv = AdaptiveAdversary::new(2).hold_events(50);
-        let v = view(&buffers, &clocks, &crashed, &last, 100);
+        let fx = fixture(&buffers, &clocks, &crashed, &last, 100);
+        let v = fx.view();
         match adv.next(&v) {
             Action::Step { p, deliver } => {
                 assert_eq!(p, ProcessorId::new(0));
@@ -774,9 +824,11 @@ mod tests {
                 drop: DropPolicy::DropAll,
             }],
         );
-        let before = view(&buffers, &clocks, &crashed, &last, 2);
+        let before_fx = fixture(&buffers, &clocks, &crashed, &last, 2);
+        let before = before_fx.view();
         assert!(matches!(adv.next(&before), Action::Step { .. }));
-        let at = view(&buffers, &clocks, &crashed, &last, 3);
+        let at_fx = fixture(&buffers, &clocks, &crashed, &last, 3);
+        let at = at_fx.view();
         match adv.next(&at) {
             Action::Crash { p, .. } => assert_eq!(p, ProcessorId::new(1)),
             other => panic!("unexpected action {other:?}"),

@@ -11,6 +11,7 @@
 use rtc_model::{LocalClock, ProcessorId};
 
 use crate::envelope::{MsgId, MsgMeta};
+use crate::store::MsgStore;
 
 /// Pattern-visible description of one buffered (sent, undelivered)
 /// message.
@@ -67,7 +68,12 @@ pub enum Action {
 /// adversary is allowed to observe.
 #[derive(Debug)]
 pub struct PatternView<'a> {
-    pub(crate) buffers: &'a [Vec<MsgMeta>],
+    pub(crate) store: &'a MsgStore,
+    /// Per-processor ids of the messages it emitted at its most recent
+    /// step, sorted by destination (the order the old buffer flatten
+    /// exposed). Some may have been delivered since; `last_sends_of`
+    /// filters those out through the store.
+    pub(crate) last_sent: &'a [Vec<MsgId>],
     pub(crate) clocks: &'a [LocalClock],
     pub(crate) crashed: &'a [bool],
     pub(crate) last_step_event: &'a [Option<u64>],
@@ -104,21 +110,30 @@ impl<'a> PatternView<'a> {
 
     /// Handles of the messages currently buffered for `p`.
     pub fn pending(&self, p: ProcessorId) -> Vec<MsgHandle> {
-        self.buffers[p.index()]
-            .iter()
-            .map(MsgHandle::from_meta)
-            .collect()
+        self.pending_iter(p).collect()
+    }
+
+    /// Iterates `p`'s buffered messages in insertion (= send-event)
+    /// order without allocating — same order as [`PatternView::pending`].
+    pub fn pending_iter(&self, p: ProcessorId) -> impl Iterator<Item = MsgHandle> + '_ {
+        self.store.iter_dest(p.index()).map(MsgHandle::from_meta)
+    }
+
+    /// Number of messages currently buffered for `p`, in O(1).
+    pub fn pending_count(&self, p: ProcessorId) -> usize {
+        self.store.len_of(p.index())
     }
 
     /// Handles of all undelivered messages sent by `p` at its most
-    /// recent step — the ones a [`Action::Crash`] may drop.
+    /// recent step — the ones a [`Action::Crash`] may drop. Ordered by
+    /// destination, ascending.
     pub fn last_sends_of(&self, p: ProcessorId) -> Vec<MsgHandle> {
         let Some(last) = self.last_step_event[p.index()] else {
             return Vec::new();
         };
-        self.buffers
+        self.last_sent[p.index()]
             .iter()
-            .flatten()
+            .filter_map(|id| self.store.lookup(*id))
             .filter(|m| m.from == p && m.send_event == last)
             .map(MsgHandle::from_meta)
             .collect()
@@ -159,7 +174,9 @@ pub trait Adversary {
 #[derive(Debug)]
 pub struct ContentView<'a, M> {
     pub(crate) pattern: PatternView<'a>,
-    pub(crate) payloads: &'a [Vec<M>],
+    /// Slot-parallel payload slab: `payloads[slot]` holds the payload of
+    /// the message the store keeps in `slot`.
+    pub(crate) payloads: &'a [Option<M>],
 }
 
 impl<'a, M> ContentView<'a, M> {
@@ -170,22 +187,19 @@ impl<'a, M> ContentView<'a, M> {
 
     /// The payload of a buffered message, if it is still pending.
     pub fn payload(&self, id: MsgId) -> Option<&M> {
-        for (metas, loads) in self.pattern.buffers.iter().zip(self.payloads) {
-            if let Some(pos) = metas.iter().position(|m| m.id == id) {
-                return Some(&loads[pos]);
-            }
-        }
-        None
+        let slot = self.pattern.store.slot_index(id)?;
+        self.payloads.get(slot)?.as_ref()
     }
 
     /// All pending (handle, payload) pairs buffered for `p`.
     pub fn pending_with_payloads(&self, p: ProcessorId) -> Vec<(MsgHandle, &M)> {
-        let metas = &self.pattern.buffers[p.index()];
-        let loads = &self.payloads[p.index()];
-        metas
-            .iter()
-            .zip(loads)
-            .map(|(m, load)| (MsgHandle::from_meta(m), load))
+        self.pattern
+            .store
+            .iter_dest_slots(p.index())
+            .filter_map(|(slot, m)| {
+                let load = self.payloads.get(slot).and_then(|o| o.as_ref())?;
+                Some((MsgHandle::from_meta(m), load))
+            })
             .collect()
     }
 }
@@ -230,12 +244,15 @@ mod tests {
 
     #[test]
     fn pattern_view_exposes_pending_and_budget() {
-        let buffers = vec![vec![meta(0, 1, 0, 5)], vec![]];
+        let mut store = MsgStore::new(2);
+        store.insert(meta(0, 1, 0, 5));
+        let last_sent = vec![vec![], vec![MsgId(0)]];
         let clocks = vec![LocalClock::new(2), LocalClock::new(3)];
         let crashed = vec![false, false];
         let last = vec![Some(4), Some(5)];
         let view = PatternView {
-            buffers: &buffers,
+            store: &store,
+            last_sent: &last_sent,
             clocks: &clocks,
             crashed: &crashed,
             last_step_event: &last,
@@ -246,6 +263,7 @@ mod tests {
         assert_eq!(view.population(), 2);
         assert_eq!(view.pending(ProcessorId::new(0)).len(), 1);
         assert_eq!(view.pending(ProcessorId::new(1)).len(), 0);
+        assert_eq!(view.pending_count(ProcessorId::new(0)), 1);
         assert_eq!(view.crashes_remaining(), 1);
         assert_eq!(view.alive().count(), 2);
         // p1's last step was event 5, and its pending message was sent at
@@ -259,12 +277,18 @@ mod tests {
 
     #[test]
     fn last_sends_filters_by_event() {
-        let buffers = vec![vec![], vec![meta(0, 0, 1, 7), meta(1, 0, 1, 9)]];
+        let mut store = MsgStore::new(2);
+        store.insert(meta(0, 0, 1, 7));
+        store.insert(meta(1, 0, 1, 9));
+        // A stale cache entry from an earlier step (id 0, sent at event
+        // 7) must be filtered out by the send_event check.
+        let last_sent = vec![vec![MsgId(0), MsgId(1)], vec![]];
         let clocks = vec![LocalClock::new(9), LocalClock::new(0)];
         let crashed = vec![false, false];
         let last = vec![Some(9), None];
         let view = PatternView {
-            buffers: &buffers,
+            store: &store,
+            last_sent: &last_sent,
             clocks: &clocks,
             crashed: &crashed,
             last_step_event: &last,
@@ -279,14 +303,18 @@ mod tests {
 
     #[test]
     fn content_view_finds_payload() {
-        let buffers = vec![vec![meta(0, 1, 0, 5)]];
+        let mut store = MsgStore::new(1);
+        let slot = store.insert(meta(0, 1, 0, 5));
+        let mut payloads = vec![None; slot + 1];
+        payloads[slot] = Some("hello");
+        let last_sent = vec![vec![]];
         let clocks = vec![LocalClock::new(2)];
         let crashed = vec![false];
         let last = vec![None];
-        let payloads = vec![vec!["hello"]];
         let view = ContentView {
             pattern: PatternView {
-                buffers: &buffers,
+                store: &store,
+                last_sent: &last_sent,
                 clocks: &clocks,
                 crashed: &crashed,
                 last_step_event: &last,

@@ -10,8 +10,10 @@ use rtc_model::{
 };
 
 use crate::adversary::{Action, Adversary, ContentAdversary, ContentView, PatternView};
+
 use crate::envelope::{MsgId, MsgMeta};
-use crate::trace::{DecisionRecord, EventRecord, MsgRecord, Trace};
+use crate::store::MsgStore;
+use crate::trace::{DecisionRecord, MsgRecord, Trace};
 
 /// Errors produced when an adversary's action violates the model.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -285,15 +287,20 @@ impl SimBuilder {
             clocks: vec![LocalClock::ZERO; n],
             crashed: vec![false; n],
             decided: vec![false; n],
-            buf_meta: vec![Vec::new(); n],
-            buf_payload: (0..n).map(|_| Vec::new()).collect(),
+            store: MsgStore::new(n),
+            payloads: Vec::new(),
+            last_sent: vec![Vec::new(); n],
             last_step_event: vec![None; n],
             last_sched_event: vec![0; n],
             event: 0,
             next_msg: 0,
             crashes_used: 0,
+            next_forced_at: 0,
             trace: Trace::new(n),
             dest_seen: vec![false; n],
+            deliv_scratch: Vec::new(),
+            sent_scratch: Vec::new(),
+            stop_scratch: Vec::new(),
         })
     }
 }
@@ -309,17 +316,43 @@ pub struct Sim<A: Automaton> {
     clocks: Vec<LocalClock>,
     crashed: Vec<bool>,
     decided: Vec<bool>,
-    buf_meta: Vec<Vec<MsgMeta>>,
-    buf_payload: Vec<Vec<A::Msg>>,
+    /// Indexed metadata of all in-flight messages: O(1) insert, lookup,
+    /// and removal, with per-destination insertion-ordered lists.
+    store: MsgStore,
+    /// Payloads of in-flight messages, parallel to the store's slots:
+    /// `payloads[slot]` belongs to the message the store keeps in
+    /// `slot`. Recycled together with the slots, so steady-state runs
+    /// stop growing it.
+    payloads: Vec<Option<A::Msg>>,
+    /// Per-processor ids of the messages emitted at its most recent
+    /// step, sorted by destination — the candidates a crash may drop.
+    last_sent: Vec<Vec<MsgId>>,
     last_step_event: Vec<Option<u64>>,
     last_sched_event: Vec<u64>,
     event: u64,
     next_msg: u64,
     crashes_used: usize,
+    /// Lower bound on the next event index at which the fairness
+    /// envelope could possibly trigger. Scanning for overdue messages
+    /// and starved processors is skipped entirely below this bound,
+    /// which amortizes the envelope to O(1) per event. The bound is
+    /// conservative: min-updated on every send, recomputed exactly
+    /// whenever a scan comes up empty, and reset on revive (a revived
+    /// processor re-exposes its possibly-overdue backlog).
+    next_forced_at: u64,
     trace: Trace,
     /// Scratch for the one-message-per-destination check, reused across
     /// steps so the fan-out validation costs no allocation.
     dest_seen: Vec<bool>,
+    /// Scratch for the deliveries handed to `Automaton::step`, reused
+    /// across steps.
+    deliv_scratch: Vec<Delivery<A::Msg>>,
+    /// Scratch for the ids sent at the current step, reused across
+    /// steps.
+    sent_scratch: Vec<MsgId>,
+    /// Scratch for the per-processor stop-condition flags used by
+    /// `run_core`, reused across run segments.
+    stop_scratch: Vec<bool>,
 }
 
 impl<A: Automaton> fmt::Debug for Sim<A> {
@@ -390,36 +423,114 @@ impl<A: Automaton> Sim<A> {
         limits: RunLimits,
     ) -> Result<RunReport, SimError> {
         let admissible = adversary.admissible();
-        while !self.stop_met(limits.stop) {
-            if self.event >= limits.max_events {
-                return Ok(self.report(true, admissible));
+        let met = self.run_core(adversary, limits.max_events, limits.stop)?;
+        Ok(self.report(!met, admissible))
+    }
+
+    /// Drives a whole scheduler quantum: runs until the stop condition
+    /// is met or the **global** event counter reaches `until_event`
+    /// (an absolute bound, like [`RunLimits::max_events`]), and returns
+    /// whether the stop condition was met.
+    ///
+    /// Unlike [`Sim::run`] this does not build a [`RunReport`] per
+    /// segment, so drivers that alternate between running and external
+    /// intervention (restarts, probes) can re-enter the loop cheaply;
+    /// call [`Sim::report`] once at the end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] when the adversary violates the model.
+    pub fn run_until(
+        &mut self,
+        adversary: &mut dyn Adversary,
+        until_event: u64,
+        stop: StopWhen,
+    ) -> Result<bool, SimError> {
+        self.run_core(&mut AsContent(adversary), until_event, stop)
+    }
+
+    /// Whether processor `i` currently satisfies the stop condition.
+    fn proc_ok(&self, i: usize, stop: StopWhen) -> bool {
+        self.crashed[i]
+            || match stop {
+                StopWhen::AllNonfaultyDecided => self.autos[i].status().is_decided(),
+                StopWhen::AllNonfaultyHalted => matches!(self.autos[i].status(), Status::Halted(_)),
             }
-            let action = match (admissible, self.forced_action()) {
-                (true, Some(forced)) => forced,
-                _ => {
+    }
+
+    /// The dispatch loop shared by [`Sim::run`], [`Sim::run_content`]
+    /// and [`Sim::run_until`]. Returns `Ok(true)` when the stop
+    /// condition was met, `Ok(false)` when the event bound was reached
+    /// first.
+    ///
+    /// The stop condition is tracked incrementally: one full scan on
+    /// entry, then only the acting processor is re-checked after each
+    /// event (steps, crashes, and in-run status changes all concern the
+    /// acting processor only), replacing the O(n) virtual-dispatch
+    /// status sweep the loop used to pay per event.
+    fn run_core(
+        &mut self,
+        adversary: &mut dyn ContentAdversary<A::Msg>,
+        until_event: u64,
+        stop: StopWhen,
+    ) -> Result<bool, SimError> {
+        let admissible = adversary.admissible();
+        let mut satisfied = std::mem::take(&mut self.stop_scratch);
+        satisfied.clear();
+        satisfied.resize(self.autos.len(), false);
+        let mut remaining = 0usize;
+        for (i, slot) in satisfied.iter_mut().enumerate() {
+            *slot = self.proc_ok(i, stop);
+            if !*slot {
+                remaining += 1;
+            }
+        }
+        let outcome = loop {
+            if remaining == 0 {
+                break Ok(true);
+            }
+            if self.event >= until_event {
+                break Ok(false);
+            }
+            let forced = if admissible {
+                self.forced_action()
+            } else {
+                None
+            };
+            let action = match forced {
+                Some(forced) => forced,
+                None => {
                     let view = ContentView {
                         pattern: self.pattern_view(),
-                        payloads: &self.buf_payload,
+                        payloads: &self.payloads,
                     };
                     adversary.next(&view)
                 }
             };
-            self.apply(action, admissible)?;
-        }
-        Ok(self.report(false, admissible))
-    }
-
-    fn stop_met(&self, stop: StopWhen) -> bool {
-        self.autos.iter().zip(&self.crashed).all(|(a, crashed)| {
-            *crashed
-                || match stop {
-                    StopWhen::AllNonfaultyDecided => a.status().is_decided(),
-                    StopWhen::AllNonfaultyHalted => matches!(a.status(), Status::Halted(_)),
+            let acting = match &action {
+                Action::Step { p, .. } | Action::Crash { p, .. } => p.index(),
+            };
+            if let Err(e) = self.apply(action, admissible) {
+                break Err(e);
+            }
+            let ok = self.proc_ok(acting, stop);
+            if ok != satisfied[acting] {
+                satisfied[acting] = ok;
+                if ok {
+                    remaining -= 1;
+                } else {
+                    remaining += 1;
                 }
-        })
+            }
+        };
+        self.stop_scratch = satisfied;
+        outcome
     }
 
-    fn report(&self, stalled: bool, admissible: bool) -> RunReport {
+    /// Builds a [`RunReport`] for the run so far. Drivers using
+    /// [`Sim::run_until`] call this once after their last segment;
+    /// `stalled` and `admissible` are the caller's verdicts on the run.
+    pub fn report(&self, stalled: bool, admissible: bool) -> RunReport {
         RunReport {
             statuses: self.statuses(),
             crashed: self.crashed.clone(),
@@ -429,9 +540,20 @@ impl<A: Automaton> Sim<A> {
         }
     }
 
+    /// Number of events executed so far (the global event counter).
+    pub fn events_executed(&self) -> u64 {
+        self.event
+    }
+
+    /// Whether processor `p` is currently crashed.
+    pub fn is_crashed(&self, p: ProcessorId) -> bool {
+        self.crashed[p.index()]
+    }
+
     fn pattern_view(&self) -> PatternView<'_> {
         PatternView {
-            buffers: &self.buf_meta,
+            store: &self.store,
+            last_sent: &self.last_sent,
             clocks: &self.clocks,
             crashed: &self.crashed,
             last_step_event: &self.last_step_event,
@@ -443,18 +565,31 @@ impl<A: Automaton> Sim<A> {
 
     /// The fairness envelope: returns an overriding action when the
     /// adversary has starved a message or a processor past the limits.
-    fn forced_action(&self) -> Option<Action> {
-        // Overdue guaranteed messages to alive processors first.
-        for (i, metas) in self.buf_meta.iter().enumerate() {
+    ///
+    /// Cheap in the common case: below the cached `next_forced_at`
+    /// bound no trigger is possible and the scan is skipped. When a
+    /// scan runs and finds nothing, the exact next trigger is
+    /// recomputed from the per-destination head messages (send events
+    /// are nondecreasing within a destination, so the head is the
+    /// earliest) and the per-processor idle clocks.
+    fn forced_action(&mut self) -> Option<Action> {
+        if self.event < self.next_forced_at {
+            return None;
+        }
+        let defer = self.fairness.max_defer_events;
+        let idle = self.fairness.max_idle_events;
+        // Overdue guaranteed messages to alive processors first. Within
+        // a destination send events are nondecreasing, so the overdue
+        // messages are exactly a prefix of its pending list (every
+        // buffered message is guaranteed — drops happen at crash time).
+        for i in 0..self.autos.len() {
             if self.crashed[i] {
                 continue;
             }
-            let overdue: Vec<MsgId> = metas
-                .iter()
-                .filter(|m| {
-                    m.guaranteed
-                        && self.event.saturating_sub(m.send_event) > self.fairness.max_defer_events
-                })
+            let overdue: Vec<MsgId> = self
+                .store
+                .iter_dest(i)
+                .take_while(|m| m.guaranteed && self.event.saturating_sub(m.send_event) > defer)
                 .map(|m| m.id)
                 .collect();
             if !overdue.is_empty() {
@@ -466,16 +601,32 @@ impl<A: Automaton> Sim<A> {
         }
         // Then starved processors.
         for i in 0..self.autos.len() {
-            if !self.crashed[i]
-                && self.event.saturating_sub(self.last_sched_event[i])
-                    > self.fairness.max_idle_events
-            {
+            if !self.crashed[i] && self.event.saturating_sub(self.last_sched_event[i]) > idle {
                 return Some(Action::Step {
                     p: ProcessorId::new(i),
                     deliver: Vec::new(),
                 });
             }
         }
+        // Nothing triggered: compute the exact earliest event at which
+        // anything could. Heads only move later and idle clocks only
+        // reset forward, so the bound stays valid until a send
+        // (min-updated there) or a revive (reset there) perturbs it.
+        let mut next = u64::MAX;
+        for i in 0..self.autos.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            if let Some(m) = self.store.head_meta(i) {
+                next = next.min(m.send_event.saturating_add(defer).saturating_add(1));
+            }
+            next = next.min(
+                self.last_sched_event[i]
+                    .saturating_add(idle)
+                    .saturating_add(1),
+            );
+        }
+        self.next_forced_at = next;
         None
     }
 
@@ -494,32 +645,47 @@ impl<A: Automaton> Sim<A> {
         if self.crashed[i] {
             return Err(SimError::StepOnCrashed { p });
         }
-        // Extract the deliveries from p's buffer.
-        let mut deliveries: Vec<Delivery<A::Msg>> = Vec::with_capacity(deliver.len());
+        // Extract the deliveries from p's buffer: O(1) per id through
+        // the store, into a scratch vector reused across steps.
+        let mut deliveries = std::mem::take(&mut self.deliv_scratch);
+        deliveries.clear();
         for id in &deliver {
-            let pos = self.buf_meta[i]
-                .iter()
-                .position(|m| m.id == *id)
-                .ok_or(SimError::DeliverNotBuffered { p, id: *id })?;
-            let meta = self.buf_meta[i].remove(pos);
-            let payload = self.buf_payload[i].remove(pos);
+            let Some((slot, meta)) = self.store.remove_for(*id, i) else {
+                self.deliv_scratch = deliveries;
+                return Err(SimError::DeliverNotBuffered { p, id: *id });
+            };
+            let Some(payload) = self.payloads[slot].take() else {
+                self.deliv_scratch = deliveries;
+                return Err(SimError::DeliverNotBuffered { p, id: *id });
+            };
             deliveries.push(Delivery::new(meta.from, payload));
         }
         // Step the automaton with this step's random number.
         let mut rng = self.seeds.step_rng(p, self.clocks[i]);
         let outs = self.autos[i].step(&deliveries, &mut rng);
+        deliveries.clear();
+        self.deliv_scratch = deliveries;
         self.clocks[i] = self.clocks[i].tick();
         let clock_after = self.clocks[i];
         // Validate one-message-per-destination and enqueue.
         self.dest_seen.fill(false);
-        let mut sent_ids = Vec::with_capacity(outs.len());
+        let mut sent_ids = std::mem::take(&mut self.sent_scratch);
+        sent_ids.clear();
+        let mut dest_sorted = true;
+        let mut prev_dest = 0usize;
         for out in outs {
             if out.to.index() >= self.autos.len() {
+                self.sent_scratch = sent_ids;
                 return Err(SimError::UnknownProcessor { p: out.to });
             }
             if std::mem::replace(&mut self.dest_seen[out.to.index()], true) {
+                self.sent_scratch = sent_ids;
                 return Err(SimError::DuplicateDestination { p, to: out.to });
             }
+            if !sent_ids.is_empty() && out.to.index() < prev_dest {
+                dest_sorted = false;
+            }
+            prev_dest = out.to.index();
             let id = MsgId(self.next_msg);
             self.next_msg += 1;
             let meta = MsgMeta {
@@ -530,8 +696,12 @@ impl<A: Automaton> Sim<A> {
                 sender_clock: clock_after,
                 guaranteed: true,
             };
-            self.buf_meta[out.to.index()].push(meta);
-            self.buf_payload[out.to.index()].push(out.msg);
+            let slot = self.store.insert(meta);
+            if slot == self.payloads.len() {
+                self.payloads.push(Some(out.msg));
+            } else {
+                self.payloads[slot] = Some(out.msg);
+            }
             self.trace.push_msg(MsgRecord {
                 id,
                 from: p,
@@ -544,15 +714,37 @@ impl<A: Automaton> Sim<A> {
             });
             sent_ids.push(id);
         }
+        if !sent_ids.is_empty() {
+            // A fresh message could become overdue before the cached
+            // fairness bound; pull the bound in (conservatively).
+            self.next_forced_at = self.next_forced_at.min(
+                self.event
+                    .saturating_add(self.fairness.max_defer_events)
+                    .saturating_add(1),
+            );
+            // Refresh p's droppable-sends cache, ordered by destination
+            // (at most one message per destination per step, so the
+            // destination is a total order on this step's sends). The
+            // send loop already saw every destination; automata emit in
+            // ascending order, so the sort almost never runs.
+            let store = &self.store;
+            let cache = &mut self.last_sent[i];
+            cache.clear();
+            cache.extend_from_slice(&sent_ids);
+            if !dest_sorted {
+                cache.sort_unstable_by_key(|id| {
+                    store.lookup(*id).map_or(usize::MAX, |m| m.to.index())
+                });
+            }
+        } else {
+            self.last_sent[i].clear();
+        }
         for id in &deliver {
             self.trace.note_delivery(*id, self.event, clock_after);
         }
-        self.trace.push_event(EventRecord::Step {
-            p,
-            clock_after,
-            delivered: deliver,
-            sent: sent_ids,
-        });
+        self.trace.push_step(p, clock_after, &deliver, &sent_ids);
+        sent_ids.clear();
+        self.sent_scratch = sent_ids;
         // Decision bookkeeping.
         if !self.decided[i] {
             if let Some(value) = self.autos[i].status().value() {
@@ -592,24 +784,20 @@ impl<A: Automaton> Sim<A> {
         // Only messages from p's final step may be dropped.
         let last = self.last_step_event[i];
         for id in &drop {
-            let found = self.buf_meta.iter().flatten().find(|m| m.id == *id);
-            match (found, last) {
+            match (self.store.lookup(*id), last) {
                 (Some(m), Some(last_ev)) if m.from == p && m.send_event == last_ev => {}
                 _ => return Err(SimError::DropNotDroppable { p, id: *id }),
             }
         }
         for id in &drop {
-            for j in 0..self.buf_meta.len() {
-                if let Some(pos) = self.buf_meta[j].iter().position(|m| m.id == *id) {
-                    self.buf_meta[j].remove(pos);
-                    self.buf_payload[j].remove(pos);
-                }
+            if let Some((slot, _)) = self.store.remove(*id) {
+                self.payloads[slot] = None;
             }
             self.trace.note_drop(*id);
         }
         self.crashed[i] = true;
         self.crashes_used += 1;
-        self.trace.push_event(EventRecord::Crash { p });
+        self.trace.push_crash(p);
         self.event += 1;
         Ok(())
     }
@@ -646,7 +834,11 @@ impl<A: Automaton> Sim<A> {
         // Restart the fairness clock so the scheduler is not forced to
         // schedule the revived processor immediately.
         self.last_sched_event[i] = self.event;
-        self.trace.push_event(EventRecord::Revive { p });
+        // The revived processor's buffered backlog re-enters the
+        // fairness scan and may already be overdue; the cached bound no
+        // longer covers it, so force a rescan.
+        self.next_forced_at = 0;
+        self.trace.push_revive(p);
         self.event += 1;
         Ok(())
     }
@@ -915,8 +1107,7 @@ mod tests {
         assert!(s
             .trace()
             .events()
-            .iter()
-            .any(|e| matches!(e, EventRecord::Revive { p } if *p == p1)));
+            .any(|e| matches!(e, crate::EventView::Revive { p } if p == p1)));
     }
 
     #[test]

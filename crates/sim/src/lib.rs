@@ -61,6 +61,7 @@ mod metrics;
 mod pattern;
 mod replay;
 pub mod rounds;
+mod store;
 mod trace;
 
 pub use adversary::{Action, Adversary, ContentAdversary, ContentView, MsgHandle, PatternView};
@@ -69,4 +70,4 @@ pub use envelope::MsgId;
 pub use metrics::{LatenessReport, RunMetrics};
 pub use pattern::{MessagePattern, PatternTriple};
 pub use replay::{Recorder, Replayer};
-pub use trace::{EventRecord, MsgRecord, Trace};
+pub use trace::{EventRecord, EventView, MsgRecord, Trace};

@@ -68,7 +68,7 @@ impl RunMetrics {
             messages_sent: trace.messages().len(),
             messages_delivered: trace.messages().iter().filter(|m| m.delivered()).count(),
             messages_dropped: trace.messages().iter().filter(|m| m.dropped).count(),
-            events: trace.events().len() as u64,
+            events: trace.event_count() as u64,
             decision_clocks,
             worst_nonfaulty_decision_clock: worst,
             lateness: LatenessReport { late },

@@ -15,7 +15,7 @@
 
 use rtc_model::ProcessorId;
 
-use crate::trace::{EventRecord, Trace};
+use crate::trace::{EventView, Trace};
 
 /// One triple `(p, E, P)` of the pattern.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,21 +44,20 @@ impl MessagePattern {
         let msgs = trace.messages();
         let triples = trace
             .events()
-            .iter()
             .map(|ev| match ev {
-                EventRecord::Crash { p } => PatternTriple {
-                    p: *p,
+                EventView::Crash { p } => PatternTriple {
+                    p,
                     failure: true,
                     received_from_events: Vec::new(),
                     sent_to: Vec::new(),
                 },
-                EventRecord::Revive { p } => PatternTriple {
-                    p: *p,
+                EventView::Revive { p } => PatternTriple {
+                    p,
                     failure: false,
                     received_from_events: Vec::new(),
                     sent_to: Vec::new(),
                 },
-                EventRecord::Step {
+                EventView::Step {
                     p, delivered, sent, ..
                 } => {
                     let mut received_from_events: Vec<usize> = delivered
@@ -70,7 +69,7 @@ impl MessagePattern {
                     let sent_to: Vec<ProcessorId> =
                         sent.iter().map(|id| msgs[id.index()].to).collect();
                     PatternTriple {
-                        p: *p,
+                        p,
                         failure: false,
                         received_from_events,
                         sent_to,

@@ -1,0 +1,362 @@
+//! Indexed store for in-flight message metadata.
+//!
+//! The engine used to keep one `Vec<MsgMeta>` per destination and pay a
+//! linear scan plus an order-preserving `Vec::remove` shift for every
+//! delivery and drop. [`MsgStore`] replaces that with a slab of slots
+//! threaded by per-destination intrusive doubly-linked lists:
+//!
+//! * **insert** appends at the destination's tail — O(1);
+//! * **lookup** maps a dense [`MsgId`] to its slot through `slot_of` —
+//!   O(1);
+//! * **remove** unlinks the slot in place — O(1), shared by the
+//!   delivery and the crash-drop paths;
+//! * **iter_dest** walks one destination's list in insertion order,
+//!   which is exactly the order the old `Vec` exposed, so adversary
+//!   visibility (and therefore every seeded schedule) is unchanged.
+//!
+//! Slots are recycled LIFO through a free list, so steady-state runs
+//! stop allocating once the high-water mark of concurrently buffered
+//! messages is reached.
+
+use crate::envelope::{MsgId, MsgMeta};
+
+/// Sentinel for "no slot" / "no neighbour" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    meta: MsgMeta,
+    prev: u32,
+    next: u32,
+}
+
+/// Slab-backed store of buffered messages with per-destination
+/// insertion-ordered lists. See the module docs for the invariants.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MsgStore {
+    slots: Vec<Slot>,
+    /// LIFO recycling of freed slots.
+    free: Vec<u32>,
+    /// `slot_of[id.index()]` is the slot currently holding `id`, or
+    /// `NIL` once the message was delivered or dropped.
+    slot_of: Vec<u32>,
+    /// Head slot of each destination's pending list (`NIL` when empty).
+    heads: Vec<u32>,
+    /// Tail slot of each destination's pending list (`NIL` when empty).
+    tails: Vec<u32>,
+    /// Pending-message count per destination.
+    lens: Vec<usize>,
+    /// Total pending messages across all destinations.
+    total: usize,
+}
+
+impl MsgStore {
+    /// An empty store for `n` destinations.
+    pub(crate) fn new(n: usize) -> MsgStore {
+        MsgStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of: Vec::new(),
+            heads: vec![NIL; n],
+            tails: vec![NIL; n],
+            lens: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Number of messages currently buffered for destination `dest`.
+    pub(crate) fn len_of(&self, dest: usize) -> usize {
+        self.lens[dest]
+    }
+
+    /// Total number of buffered messages.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Buffers `meta` at the tail of its destination's list and returns
+    /// the slot index it landed in (so the engine can keep a payload
+    /// slab slot-parallel to the store). Ids must be dense and inserted
+    /// in increasing order (the engine assigns them from a counter),
+    /// which keeps `slot_of` an O(1) direct map.
+    pub(crate) fn insert(&mut self, meta: MsgMeta) -> usize {
+        let dest = meta.to.index();
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Slot {
+                    meta,
+                    prev: self.tails[dest],
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    meta,
+                    prev: self.tails[dest],
+                    next: NIL,
+                });
+                idx
+            }
+        };
+        let id = meta.id.index();
+        if id >= self.slot_of.len() {
+            self.slot_of.resize(id + 1, NIL);
+        }
+        debug_assert_eq!(self.slot_of[id], NIL, "message id buffered twice");
+        self.slot_of[id] = idx;
+        match self.tails[dest] {
+            NIL => self.heads[dest] = idx,
+            tail => self.slots[tail as usize].next = idx,
+        }
+        self.tails[dest] = idx;
+        self.lens[dest] += 1;
+        self.total += 1;
+        idx as usize
+    }
+
+    /// The metadata of `id` if it is still buffered.
+    pub(crate) fn lookup(&self, id: MsgId) -> Option<&MsgMeta> {
+        let slot = *self.slot_of.get(id.index())?;
+        if slot == NIL {
+            return None;
+        }
+        Some(&self.slots[slot as usize].meta)
+    }
+
+    /// Unlinks `id` from its destination's list and returns the slot it
+    /// occupied (so the engine can reclaim the slot-parallel payload)
+    /// together with its metadata. This is the single removal path
+    /// shared by delivery (`Sim::apply_step`) and crash-time drops
+    /// (`Sim::apply_crash`).
+    pub(crate) fn remove(&mut self, id: MsgId) -> Option<(usize, MsgMeta)> {
+        let slot = *self.slot_of.get(id.index())?;
+        if slot == NIL {
+            return None;
+        }
+        self.slot_of[id.index()] = NIL;
+        let Slot { meta, prev, next } = self.slots[slot as usize];
+        let dest = meta.to.index();
+        match prev {
+            NIL => self.heads[dest] = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tails[dest] = prev,
+            nx => self.slots[nx as usize].prev = prev,
+        }
+        self.free.push(slot);
+        self.lens[dest] -= 1;
+        self.total -= 1;
+        Some((slot as usize, meta))
+    }
+
+    /// Like [`MsgStore::remove`], but only succeeds when `id` is
+    /// buffered at destination `dest` — the delivery-path guard.
+    pub(crate) fn remove_for(&mut self, id: MsgId, dest: usize) -> Option<(usize, MsgMeta)> {
+        match self.lookup(id) {
+            Some(meta) if meta.to.index() == dest => self.remove(id),
+            _ => None,
+        }
+    }
+
+    /// The slot currently holding `id`, if it is still buffered. Lets
+    /// content views resolve payloads in O(1) without touching the
+    /// payload slab itself.
+    pub(crate) fn slot_index(&self, id: MsgId) -> Option<usize> {
+        match *self.slot_of.get(id.index())? {
+            NIL => None,
+            slot => Some(slot as usize),
+        }
+    }
+
+    /// The earliest-sent message still buffered for `dest`, if any.
+    pub(crate) fn head_meta(&self, dest: usize) -> Option<&MsgMeta> {
+        match self.heads[dest] {
+            NIL => None,
+            idx => Some(&self.slots[idx as usize].meta),
+        }
+    }
+
+    /// Iterates destination `dest`'s buffered messages in insertion
+    /// (= send-event) order — byte-for-byte the order the old per-
+    /// destination `Vec` exposed to adversaries.
+    pub(crate) fn iter_dest(&self, dest: usize) -> DestIter<'_> {
+        DestIter {
+            store: self,
+            cursor: self.heads[dest],
+        }
+    }
+
+    /// Like [`MsgStore::iter_dest`], but also yields each message's slot
+    /// so callers can pair metadata with the slot-parallel payload slab.
+    pub(crate) fn iter_dest_slots(&self, dest: usize) -> DestSlotIter<'_> {
+        DestSlotIter {
+            store: self,
+            cursor: self.heads[dest],
+        }
+    }
+}
+
+/// Iterator over one destination's pending list in insertion order.
+#[derive(Clone, Debug)]
+pub(crate) struct DestIter<'a> {
+    store: &'a MsgStore,
+    cursor: u32,
+}
+
+impl<'a> Iterator for DestIter<'a> {
+    type Item = &'a MsgMeta;
+
+    fn next(&mut self) -> Option<&'a MsgMeta> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = &self.store.slots[self.cursor as usize];
+        self.cursor = slot.next;
+        Some(&slot.meta)
+    }
+}
+
+/// Iterator over one destination's pending list yielding
+/// `(slot, metadata)` pairs in insertion order.
+#[derive(Clone, Debug)]
+pub(crate) struct DestSlotIter<'a> {
+    store: &'a MsgStore,
+    cursor: u32,
+}
+
+impl<'a> Iterator for DestSlotIter<'a> {
+    type Item = (usize, &'a MsgMeta);
+
+    fn next(&mut self) -> Option<(usize, &'a MsgMeta)> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let idx = self.cursor as usize;
+        let slot = &self.store.slots[idx];
+        self.cursor = slot.next;
+        Some((idx, &slot.meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rtc_model::{LocalClock, ProcessorId};
+
+    fn meta(id: u64, to: usize, send_event: u64) -> MsgMeta {
+        MsgMeta {
+            id: MsgId(id),
+            from: ProcessorId::new(0),
+            to: ProcessorId::new(to),
+            send_event,
+            sender_clock: LocalClock::ZERO,
+            guaranteed: true,
+        }
+    }
+
+    fn ids_of(store: &MsgStore, dest: usize) -> Vec<u64> {
+        store.iter_dest(dest).map(|m| m.id.0).collect()
+    }
+
+    #[test]
+    fn insert_preserves_per_destination_order() {
+        let mut s = MsgStore::new(3);
+        for (id, dest) in [(0, 1), (1, 2), (2, 1), (3, 1), (4, 0)] {
+            s.insert(meta(id, dest, id));
+        }
+        assert_eq!(ids_of(&s, 0), [4]);
+        assert_eq!(ids_of(&s, 1), [0, 2, 3]);
+        assert_eq!(ids_of(&s, 2), [1]);
+        assert_eq!(s.len_of(1), 3);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn remove_unlinks_head_middle_and_tail() {
+        let mut s = MsgStore::new(1);
+        for id in 0..5 {
+            s.insert(meta(id, 0, id));
+        }
+        assert!(s.remove(MsgId(2)).is_some()); // middle
+        assert_eq!(ids_of(&s, 0), [0, 1, 3, 4]);
+        assert!(s.remove(MsgId(0)).is_some()); // head
+        assert_eq!(ids_of(&s, 0), [1, 3, 4]);
+        assert!(s.remove(MsgId(4)).is_some()); // tail
+        assert_eq!(ids_of(&s, 0), [1, 3]);
+        assert_eq!(s.head_meta(0).unwrap().id, MsgId(1));
+        // Removing again is a no-op returning None.
+        assert!(s.remove(MsgId(2)).is_none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_for_guards_the_destination() {
+        let mut s = MsgStore::new(2);
+        s.insert(meta(0, 1, 0));
+        assert!(s.remove_for(MsgId(0), 0).is_none());
+        assert_eq!(s.len(), 1);
+        assert!(s.remove_for(MsgId(0), 1).is_some());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_removal() {
+        let mut s = MsgStore::new(1);
+        for id in 0..4 {
+            s.insert(meta(id, 0, id));
+        }
+        let hwm = s.slots.len();
+        for id in 0..4 {
+            s.remove(MsgId(id)).unwrap();
+        }
+        for id in 4..8 {
+            s.insert(meta(id, 0, id));
+        }
+        assert_eq!(s.slots.len(), hwm, "freed slots must be reused");
+        assert_eq!(ids_of(&s, 0), [4, 5, 6, 7]);
+    }
+
+    proptest! {
+        /// The store agrees with the naive `Vec<Vec<MsgMeta>>` model it
+        /// replaced under arbitrary insert/remove interleavings.
+        #[test]
+        fn matches_naive_vec_model(ops in proptest::collection::vec((0..3usize, 0..40u64), 1..200)) {
+            let n = 3;
+            let mut store = MsgStore::new(n);
+            let mut model: Vec<Vec<MsgMeta>> = vec![Vec::new(); n];
+            let mut next_id = 0u64;
+            for (dest, sel) in ops {
+                if sel % 3 == 0 && model.iter().any(|b| !b.is_empty()) {
+                    // Remove a pseudo-arbitrary live message.
+                    let live: Vec<MsgId> = model.iter().flatten().map(|m| m.id).collect();
+                    let id = live[(sel as usize) % live.len()];
+                    let want = model.iter_mut().find_map(|b| {
+                        b.iter().position(|m| m.id == id).map(|pos| b.remove(pos))
+                    });
+                    prop_assert_eq!(store.remove(id).map(|(_, m)| m), want);
+                } else {
+                    let m = meta(next_id, dest, sel);
+                    next_id += 1;
+                    model[dest].push(m);
+                    store.insert(m);
+                }
+                for (d, buf) in model.iter().enumerate() {
+                    let got: Vec<MsgId> = store.iter_dest(d).map(|m| m.id).collect();
+                    let want: Vec<MsgId> = buf.iter().map(|m| m.id).collect();
+                    prop_assert_eq!(got, want, "destination {} order drifted", d);
+                    prop_assert_eq!(store.len_of(d), buf.len());
+                }
+                for buf in &model {
+                    for m in buf {
+                        prop_assert_eq!(store.lookup(m.id), Some(m));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -81,6 +81,66 @@ impl EventRecord {
     }
 }
 
+/// A borrowed view of one recorded event.
+///
+/// The trace stores events column-wise (structure-of-arrays) with the
+/// delivered/sent id lists packed into two shared pools, so recording a
+/// step never allocates per event. `EventView` is the zero-copy reading
+/// lens over that layout: `delivered` and `sent` borrow directly from
+/// the pools.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventView<'a> {
+    /// Processor `p` took a step, receiving the listed messages.
+    Step {
+        /// The stepping processor.
+        p: ProcessorId,
+        /// `p`'s clock after the step.
+        clock_after: LocalClock,
+        /// Messages delivered at this event.
+        delivered: &'a [MsgId],
+        /// Messages sent at this event.
+        sent: &'a [MsgId],
+    },
+    /// Processor `p` crashed (an explicit failure step).
+    Crash {
+        /// The crashing processor.
+        p: ProcessorId,
+    },
+    /// Processor `p` was revived (restarted) after a crash.
+    Revive {
+        /// The revived processor.
+        p: ProcessorId,
+    },
+}
+
+impl EventView<'_> {
+    /// The processor involved in this event.
+    pub fn processor(&self) -> ProcessorId {
+        match self {
+            EventView::Step { p, .. } | EventView::Crash { p } | EventView::Revive { p } => *p,
+        }
+    }
+
+    /// An owned [`EventRecord`] with the same content.
+    pub fn to_record(&self) -> EventRecord {
+        match *self {
+            EventView::Step {
+                p,
+                clock_after,
+                delivered,
+                sent,
+            } => EventRecord::Step {
+                p,
+                clock_after,
+                delivered: delivered.to_vec(),
+                sent: sent.to_vec(),
+            },
+            EventView::Crash { p } => EventRecord::Crash { p },
+            EventView::Revive { p } => EventRecord::Revive { p },
+        }
+    }
+}
+
 /// A decision observed during the run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DecisionRecord {
@@ -94,10 +154,31 @@ pub struct DecisionRecord {
     pub event: u64,
 }
 
+/// Event-kind tags in the column-wise trace. These values are also the
+/// digest tags, so they must never change.
+const KIND_STEP: u8 = 0;
+const KIND_CRASH: u8 = 1;
+const KIND_REVIVE: u8 = 2;
+
 /// A full record of one run: events, messages, crashes, decisions.
+///
+/// Events are stored column-wise: one entry per event in `ev_kind` /
+/// `ev_p` / `ev_clock`, with each step's delivered and sent id lists
+/// appended to the shared `deliv_pool` / `sent_pool` and addressed by
+/// prefix-end offsets (`ev_deliv_end[i]` is the pool length *after*
+/// event `i`, so event `i`'s slice starts at `ev_deliv_end[i - 1]`).
+/// Recording an event is therefore a handful of `Vec::push`es into
+/// already-grown columns — no per-event `Vec<MsgId>` allocations, which
+/// used to dominate the trace recorder's cost on the hot path.
 #[derive(Clone, Default)]
 pub struct Trace {
-    events: Vec<EventRecord>,
+    ev_kind: Vec<u8>,
+    ev_p: Vec<u32>,
+    ev_clock: Vec<u64>,
+    ev_deliv_end: Vec<u32>,
+    ev_sent_end: Vec<u32>,
+    deliv_pool: Vec<MsgId>,
+    sent_pool: Vec<MsgId>,
     msgs: Vec<MsgRecord>,
     crashed: Vec<ProcessorId>,
     decisions: Vec<DecisionRecord>,
@@ -109,7 +190,13 @@ pub struct Trace {
 impl Trace {
     pub(crate) fn new(n: usize) -> Trace {
         Trace {
-            events: Vec::new(),
+            ev_kind: Vec::new(),
+            ev_p: Vec::new(),
+            ev_clock: Vec::new(),
+            ev_deliv_end: Vec::new(),
+            ev_sent_end: Vec::new(),
+            deliv_pool: Vec::new(),
+            sent_pool: Vec::new(),
             msgs: Vec::new(),
             crashed: Vec::new(),
             decisions: Vec::new(),
@@ -117,15 +204,60 @@ impl Trace {
         }
     }
 
+    /// Records a step event without allocating: the id slices are copied
+    /// straight into the shared pools.
+    pub(crate) fn push_step(
+        &mut self,
+        p: ProcessorId,
+        clock_after: LocalClock,
+        delivered: &[MsgId],
+        sent: &[MsgId],
+    ) {
+        let idx = self.ev_kind.len() as u64;
+        self.step_events[p.index()].push(idx);
+        self.deliv_pool.extend_from_slice(delivered);
+        self.sent_pool.extend_from_slice(sent);
+        self.ev_kind.push(KIND_STEP);
+        self.ev_p.push(p.index() as u32);
+        self.ev_clock.push(clock_after.ticks());
+        self.ev_deliv_end.push(self.deliv_pool.len() as u32);
+        self.ev_sent_end.push(self.sent_pool.len() as u32);
+    }
+
+    /// Records a crash event and adds `p` to the faulty set.
+    pub(crate) fn push_crash(&mut self, p: ProcessorId) {
+        self.crashed.push(p);
+        self.push_messageless(KIND_CRASH, p);
+    }
+
+    /// Records a revive event.
+    pub(crate) fn push_revive(&mut self, p: ProcessorId) {
+        self.push_messageless(KIND_REVIVE, p);
+    }
+
+    fn push_messageless(&mut self, kind: u8, p: ProcessorId) {
+        self.ev_kind.push(kind);
+        self.ev_p.push(p.index() as u32);
+        self.ev_clock.push(0);
+        self.ev_deliv_end.push(self.deliv_pool.len() as u32);
+        self.ev_sent_end.push(self.sent_pool.len() as u32);
+    }
+
+    /// Records an owned [`EventRecord`]. Equivalent to the dedicated
+    /// `push_step` / `push_crash` / `push_revive` entry points the
+    /// engine uses; kept for tests that build traces from owned records.
+    #[cfg(test)]
     pub(crate) fn push_event(&mut self, ev: EventRecord) {
-        let idx = self.events.len() as u64;
-        if let EventRecord::Step { p, .. } = &ev {
-            self.step_events[p.index()].push(idx);
+        match ev {
+            EventRecord::Step {
+                p,
+                clock_after,
+                delivered,
+                sent,
+            } => self.push_step(p, clock_after, &delivered, &sent),
+            EventRecord::Crash { p } => self.push_crash(p),
+            EventRecord::Revive { p } => self.push_revive(p),
         }
-        if let EventRecord::Crash { p } = &ev {
-            self.crashed.push(*p);
-        }
-        self.events.push(ev);
     }
 
     pub(crate) fn push_msg(&mut self, rec: MsgRecord) {
@@ -152,9 +284,47 @@ impl Trace {
         self.step_events.len()
     }
 
-    /// The events of the run, in order.
-    pub fn events(&self) -> &[EventRecord] {
-        &self.events
+    fn deliv_range(&self, idx: usize) -> std::ops::Range<usize> {
+        let start = if idx == 0 {
+            0
+        } else {
+            self.ev_deliv_end[idx - 1] as usize
+        };
+        start..self.ev_deliv_end[idx] as usize
+    }
+
+    fn sent_range(&self, idx: usize) -> std::ops::Range<usize> {
+        let start = if idx == 0 {
+            0
+        } else {
+            self.ev_sent_end[idx - 1] as usize
+        };
+        start..self.ev_sent_end[idx] as usize
+    }
+
+    /// A borrowed view of event `idx` (panics if out of range, like
+    /// slice indexing).
+    pub fn event(&self, idx: usize) -> EventView<'_> {
+        let p = ProcessorId::new(self.ev_p[idx] as usize);
+        match self.ev_kind[idx] {
+            KIND_STEP => EventView::Step {
+                p,
+                clock_after: LocalClock::new(self.ev_clock[idx]),
+                delivered: &self.deliv_pool[self.deliv_range(idx)],
+                sent: &self.sent_pool[self.sent_range(idx)],
+            },
+            KIND_CRASH => EventView::Crash { p },
+            _ => EventView::Revive { p },
+        }
+    }
+
+    /// The events of the run, in order, as zero-copy [`EventView`]s.
+    pub fn events(&self) -> EventsIter<'_> {
+        EventsIter {
+            trace: self,
+            front: 0,
+            back: self.ev_kind.len(),
+        }
     }
 
     /// All messages sent during the run, indexed by [`MsgId`].
@@ -204,7 +374,7 @@ impl Trace {
 
     /// Number of events in the traced prefix.
     pub fn event_count(&self) -> usize {
-        self.events.len()
+        self.ev_kind.len()
     }
 
     /// A 64-bit FNV-1a digest over the full canonical content of the
@@ -220,34 +390,22 @@ impl Trace {
     pub fn digest(&self) -> u64 {
         let mut h = Fnv::new();
         h.write_u64(self.population() as u64);
-        h.write_u64(self.events.len() as u64);
-        for ev in &self.events {
-            match ev {
-                EventRecord::Step {
-                    p,
-                    clock_after,
-                    delivered,
-                    sent,
-                } => {
-                    h.write_u8(0);
-                    h.write_u64(p.index() as u64);
-                    h.write_u64(clock_after.ticks());
-                    h.write_u64(delivered.len() as u64);
-                    for id in delivered {
-                        h.write_u64(id.index() as u64);
-                    }
-                    h.write_u64(sent.len() as u64);
-                    for id in sent {
-                        h.write_u64(id.index() as u64);
-                    }
+        h.write_u64(self.ev_kind.len() as u64);
+        for idx in 0..self.ev_kind.len() {
+            let kind = self.ev_kind[idx];
+            h.write_u8(kind);
+            h.write_u64(u64::from(self.ev_p[idx]));
+            if kind == KIND_STEP {
+                h.write_u64(self.ev_clock[idx]);
+                let delivered = &self.deliv_pool[self.deliv_range(idx)];
+                h.write_u64(delivered.len() as u64);
+                for id in delivered {
+                    h.write_u64(id.index() as u64);
                 }
-                EventRecord::Crash { p } => {
-                    h.write_u8(1);
-                    h.write_u64(p.index() as u64);
-                }
-                EventRecord::Revive { p } => {
-                    h.write_u8(2);
-                    h.write_u64(p.index() as u64);
+                let sent = &self.sent_pool[self.sent_range(idx)];
+                h.write_u64(sent.len() as u64);
+                for id in sent {
+                    h.write_u64(id.index() as u64);
                 }
             }
         }
@@ -274,6 +432,45 @@ impl Trace {
             h.write_u64(p.index() as u64);
         }
         h.finish()
+    }
+}
+
+/// Double-ended, exact-size iterator over a trace's events as
+/// [`EventView`]s.
+#[derive(Clone, Debug)]
+pub struct EventsIter<'a> {
+    trace: &'a Trace,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for EventsIter<'a> {
+    type Item = EventView<'a>;
+
+    fn next(&mut self) -> Option<EventView<'a>> {
+        if self.front >= self.back {
+            return None;
+        }
+        let ev = self.trace.event(self.front);
+        self.front += 1;
+        Some(ev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = self.back - self.front;
+        (len, Some(len))
+    }
+}
+
+impl ExactSizeIterator for EventsIter<'_> {}
+
+impl<'a> DoubleEndedIterator for EventsIter<'a> {
+    fn next_back(&mut self) -> Option<EventView<'a>> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.trace.event(self.back))
     }
 }
 
@@ -314,7 +511,7 @@ impl Fnv {
 impl fmt::Debug for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Trace")
-            .field("events", &self.events.len())
+            .field("events", &self.ev_kind.len())
             .field("messages", &self.msgs.len())
             .field("crashed", &self.crashed)
             .field("decisions", &self.decisions.len())
@@ -394,7 +591,7 @@ mod tests {
             p: ProcessorId::new(2),
         });
         assert_eq!(t.faulty(), &[ProcessorId::new(2)]);
-        assert_eq!(t.events()[0].processor(), ProcessorId::new(2));
+        assert_eq!(t.event(0).processor(), ProcessorId::new(2));
     }
 
     #[test]
@@ -416,6 +613,51 @@ mod tests {
         d.push_event(step(1, 1));
         assert_ne!(c.digest(), d.digest());
         assert_eq!(c.event_count(), 2);
+    }
+
+    #[test]
+    fn soa_views_round_trip_event_records() {
+        let mut t = Trace::new(3);
+        let records = vec![
+            EventRecord::Step {
+                p: ProcessorId::new(0),
+                clock_after: LocalClock::new(1),
+                delivered: vec![],
+                sent: vec![MsgId(0), MsgId(1)],
+            },
+            EventRecord::Crash {
+                p: ProcessorId::new(2),
+            },
+            EventRecord::Step {
+                p: ProcessorId::new(1),
+                clock_after: LocalClock::new(1),
+                delivered: vec![MsgId(1)],
+                sent: vec![],
+            },
+            EventRecord::Revive {
+                p: ProcessorId::new(2),
+            },
+            EventRecord::Step {
+                p: ProcessorId::new(1),
+                clock_after: LocalClock::new(2),
+                delivered: vec![MsgId(0)],
+                sent: vec![MsgId(2)],
+            },
+        ];
+        for r in &records {
+            t.push_event(r.clone());
+        }
+        // Columnar storage must reproduce every owned record exactly,
+        // in order, through both random access and iteration.
+        let via_iter: Vec<EventRecord> = t.events().map(|v| v.to_record()).collect();
+        assert_eq!(via_iter, records);
+        for (idx, want) in records.iter().enumerate() {
+            assert_eq!(&t.event(idx).to_record(), want);
+        }
+        assert_eq!(t.events().len(), records.len());
+        let back: Vec<EventRecord> = t.events().rev().map(|v| v.to_record()).collect();
+        assert_eq!(back.len(), records.len());
+        assert_eq!(&back[0], &records[records.len() - 1]);
     }
 
     #[test]

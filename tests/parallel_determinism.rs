@@ -26,9 +26,13 @@ fn trace_digest(n: usize, seed: u64) -> u64 {
     let report = sim.run(&mut adv, RunLimits::default()).expect("model run");
     assert!(report.agreement_holds());
     let trace = sim.trace();
+    // Render through owned `EventRecord`s: the structure-of-arrays trace
+    // buffer iterates views, and the record form keeps the rendering —
+    // and thus the pinned digests — stable across recorder layouts.
+    let events: Vec<_> = trace.events().map(|v| v.to_record()).collect();
     let rendered = format!(
         "{:?}|{:?}|{:?}",
-        trace.events(),
+        events,
         trace.messages(),
         trace.decisions()
     );
