@@ -1,0 +1,95 @@
+//! Rule `channel-send-unwrap`: channel endpoints in the runtime must
+//! not be unwrapped.
+//!
+//! In the threaded runtime a channel send or receive fails for exactly
+//! one benign reason: the peer hung up because the run is tearing down
+//! (or the node crashed on schedule). Unwrapping that `Result` converts
+//! an orderly shutdown into a thread panic — which the monitor then
+//! misreads as a crash fault outside the fault plan, poisoning the
+//! run's accounting. Runtime code handles disconnects by dropping the
+//! message (`let _ = tx.send(..)`), breaking out of the loop, or
+//! matching on the error; it never `.unwrap()`/`.expect()`s a channel
+//! operation.
+
+use crate::diag::Diagnostic;
+use crate::engine::Workspace;
+use crate::rules::Rule;
+
+/// Channel operations whose `Result` must not be unwrapped.
+const CHANNEL_OPS: [&str; 4] = [".send(", ".recv(", ".recv_timeout(", ".try_recv("];
+
+/// Panicking result consumers.
+const PANICKING: [&str; 2] = [".unwrap()", ".expect("];
+
+/// How many lines after the channel op a chained unwrap is searched in
+/// (method chains split across lines by rustfmt).
+const CHAIN_LOOKAHEAD: usize = 2;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct ChannelSendUnwrap;
+
+impl ChannelSendUnwrap {
+    fn in_scope(crate_name: &str) -> bool {
+        crate_name == "rtc-runtime"
+    }
+
+    /// Whether the channel-op line (or its immediate chained
+    /// continuation) feeds a panicking consumer.
+    fn unwrapped_at(file_code: &[String], line_no: usize) -> bool {
+        let line = file_code[line_no - 1].as_str();
+        if PANICKING.iter().any(|p| line.contains(p)) {
+            return true;
+        }
+        // A chain continued on following lines: only lines that are
+        // pure `.method()` continuations count, so an unwrap in a later
+        // unrelated statement is not attributed to this op.
+        for follow in file_code.iter().skip(line_no).take(CHAIN_LOOKAHEAD) {
+            let t = follow.trim_start();
+            if !t.starts_with('.') {
+                break;
+            }
+            if PANICKING.iter().any(|p| t.contains(p)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Rule for ChannelSendUnwrap {
+    fn name(&self) -> &'static str {
+        "channel-send-unwrap"
+    }
+
+    fn summary(&self) -> &'static str {
+        "runtime channel sends/receives must tolerate disconnects instead of unwrapping"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in ws.files.iter().filter(|f| Self::in_scope(&f.crate_name)) {
+            for (line_no, line) in file.prod_lines() {
+                let Some(op) = CHANNEL_OPS.iter().find(|op| line.contains(**op)) else {
+                    continue;
+                };
+                if Self::unwrapped_at(&file.code, line_no) {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        line_no,
+                        format!(
+                            "`{}` result unwrapped: a peer hanging up at teardown (or a \
+                             scheduled crash) panics this thread and corrupts the fault \
+                             accounting; drop the message, break the loop, or match on \
+                             the disconnect instead",
+                            op.trim_matches(['.', '('])
+                        ),
+                        file.snippet(line_no),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

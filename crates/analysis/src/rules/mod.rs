@@ -11,6 +11,7 @@ use crate::engine::Workspace;
 
 mod alloc_fanout;
 mod buffer_scan;
+mod channel_unwrap;
 mod determinism;
 mod exhaustive;
 mod panic_path;
@@ -19,6 +20,7 @@ mod unordered_iter;
 
 pub use alloc_fanout::AllocInFanout;
 pub use buffer_scan::BufferLinearScan;
+pub use channel_unwrap::ChannelSendUnwrap;
 pub use determinism::WallClock;
 pub use exhaustive::MessageExhaustiveness;
 pub use panic_path::PanicInProtocolPath;
@@ -46,6 +48,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(AllocInFanout),
         Box::new(BufferLinearScan),
         Box::new(UnboundedRecv),
+        Box::new(ChannelSendUnwrap),
         Box::new(MessageExhaustiveness),
     ]
 }

@@ -67,6 +67,13 @@ fn corpus() -> Vec<(
             include_str!("fixtures/unbounded_recv_negative.rs"),
         ),
         (
+            "channel-send-unwrap",
+            "rtc-runtime",
+            "crates/runtime/src/fixture.rs",
+            include_str!("fixtures/channel_unwrap_positive.rs"),
+            include_str!("fixtures/channel_unwrap_negative.rs"),
+        ),
+        (
             "message-exhaustiveness",
             "rtc-core",
             "crates/core/src/wire.rs",

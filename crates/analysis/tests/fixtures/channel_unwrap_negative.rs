@@ -1,0 +1,24 @@
+//! Negative fixture for `channel-send-unwrap`: every channel operation
+//! tolerates a disconnected peer. Not compiled — scanned by
+//! `fixtures.rs`.
+
+pub fn broadcast(txs: &[Sender<u64>], v: u64) {
+    for tx in txs {
+        // Teardown races are benign: a hung-up peer just misses it.
+        let _ = tx.send(v);
+    }
+}
+
+pub fn drain_one(rx: &Receiver<u64>) -> Option<u64> {
+    match rx.recv_timeout(Duration::from_millis(1)) {
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}
+
+pub fn unrelated_unwrap_nearby(rx: &Receiver<u64>, xs: &[u64]) -> u64 {
+    let v = rx.try_recv().unwrap_or(0);
+    // An unwrap two statements later is not the channel op's fault.
+    let first = xs.first().copied();
+    first.unwrap()
+}

@@ -1,0 +1,17 @@
+//! Positive fixture for `channel-send-unwrap`: channel operations whose
+//! `Result` is unwrapped. Not compiled — scanned by `fixtures.rs`.
+
+pub fn broadcast(txs: &[Sender<u64>], v: u64) {
+    for tx in txs {
+        tx.send(v).unwrap();
+    }
+}
+
+pub fn drain_one(rx: &Receiver<u64>) -> u64 {
+    rx.recv().expect("peer alive")
+}
+
+pub fn chained(rx: &Receiver<u64>) -> u64 {
+    rx.recv_timeout(Duration::from_millis(1))
+        .unwrap()
+}

@@ -27,12 +27,12 @@ fn committed_workspace_is_clean_under_the_full_catalog() {
     );
     // The sanctioned allowances: the Option<Arc<CoinList>> refcount
     // bump in Protocol 2's fan-out, the chaos adversary's bounded
-    // crash-plan scan, and the lockstep replay path's tag-addressed
-    // buffer scan. If this count grows, the new suppression deserves
-    // review.
+    // crash-plan and partition-plan scans, and the lockstep replay
+    // path's tag-addressed buffer scan. If this count grows, the new
+    // suppression deserves review.
     assert_eq!(
         report.suppressed_count(),
-        3,
+        4,
         "unexpected number of rtc-allow suppressions:\n{}",
         report.render_human(true)
     );

@@ -241,6 +241,9 @@ fn soak_schedule(n: usize, t: usize, seed: u64) -> ChaosSchedule {
         crashes: Vec::new(),
         restarts: Vec::new(),
         flaps: Vec::new(),
+        partitions: Vec::new(),
+        duplicate_permille: 0,
+        reorder_permille: 0,
     }
 }
 

@@ -24,6 +24,11 @@ pub struct ChaosAdversary {
     delay: ChaosDelay,
     pending_crashes: Vec<ChaosCrash>,
     flaps: Vec<(ProcessorId, ProcessorId, u64, u64)>,
+    /// Scripted partitions, scaled to event windows:
+    /// `(groups, start_event, heal_event)`.
+    pending_partitions: Vec<(Vec<u32>, u64, u64)>,
+    duplicate_permille: u32,
+    reorder_permille: u32,
     /// Per-message delivery event, sampled once on first sight.
     /// `MsgId`s are dense run-unique integers, so this is a direct map
     /// indexed by id (`u64::MAX` = not yet sampled) — the adversary
@@ -56,6 +61,13 @@ impl ChaosAdversary {
                 .iter()
                 .map(|f| (f.a, f.b, f.from_step * n as u64, f.until_step * n as u64))
                 .collect(),
+            pending_partitions: schedule
+                .partitions
+                .iter()
+                .map(|p| (p.groups(n), p.from_step * n as u64, p.heal_step * n as u64))
+                .collect(),
+            duplicate_permille: schedule.duplicate_permille,
+            reorder_permille: schedule.reorder_permille,
             due: Vec::new(),
         }
     }
@@ -113,9 +125,24 @@ impl Adversary for ChaosAdversary {
             return Action::Crash { p: c.victim, drop };
         }
 
+        // Scripted partitions are issued once their window opens; a
+        // window the run has already rushed past is dropped instead.
+        if let Some(pos) = self
+            .pending_partitions
+            .iter()
+            .position(|(_, start, _)| view.event() >= *start)
+        {
+            // Not a message buffer: at most one scripted cut per run.
+            // rtc-allow(buffer-linear-scan): bounded partition-plan list
+            let (groups, _, heal_at) = self.pending_partitions.remove(pos);
+            if heal_at > view.event() {
+                return Action::Partition { groups, heal_at };
+            }
+        }
+
         // Otherwise round-robin step the next alive processor,
         // delivering every pending message that is both due and not
-        // crossing a flapped link.
+        // crossing a flapped link or an active partition.
         let mut p = ProcessorId::new(self.cursor % self.n);
         for _ in 0..self.n {
             p = ProcessorId::new(self.cursor % self.n);
@@ -125,10 +152,37 @@ impl Adversary for ChaosAdversary {
             }
         }
         let event = view.event();
+
+        // Hostile-network coin flips: occasionally duplicate or reorder
+        // one of the stepping processor's buffered messages instead of
+        // stepping it. Both actions keep every message guaranteed, so
+        // the fairness envelope still bounds the interference.
+        if self.duplicate_permille > 0
+            && view.pending_count(p) > 0
+            && self.rng.gen_range(0..1000u32) < self.duplicate_permille
+        {
+            let pick = self.rng.gen_range(0..view.pending_count(p));
+            if let Some(m) = view.pending_iter(p).nth(pick) {
+                return Action::Duplicate { id: m.id };
+            }
+        }
+        if self.reorder_permille > 0
+            && view.pending_count(p) > 1
+            && self.rng.gen_range(0..1000u32) < self.reorder_permille
+        {
+            let pick = self.rng.gen_range(0..view.pending_count(p));
+            if let Some(m) = view.pending_iter(p).nth(pick) {
+                return Action::Reorder { id: m.id };
+            }
+        }
+
         let mut deliver = Vec::with_capacity(view.pending_count(p));
         let any_flaps = !self.flaps.is_empty();
         for m in view.pending_iter(p) {
             if any_flaps && self.flapped(m.from, p, event) {
+                continue;
+            }
+            if view.is_blocked(m.from, p) {
                 continue;
             }
             if event >= self.due_of(&m) {

@@ -22,10 +22,10 @@ use std::num::NonZeroUsize;
 use std::thread;
 use std::time::Duration;
 
-use rtc_runtime::ClusterOptions;
+use rtc_runtime::{ClusterOptions, SupervisorPolicy};
 
 use crate::outcome::{ChaosOutcome, Substrate};
-use crate::runtime_driver::run_on_runtime;
+use crate::runtime_driver::{run_on_runtime, run_on_supervised};
 use crate::schedule::{ChaosSchedule, ScheduleParams};
 use crate::shrink::shrink_sim_violation;
 use crate::sim_driver::run_on_sim;
@@ -47,6 +47,12 @@ pub struct CampaignConfig {
     pub run_sim: bool,
     /// Execute schedules on the threaded runtime.
     pub run_runtime: bool,
+    /// Additionally execute schedules on the runtime under the
+    /// self-healing supervisor (scripted restarts replaced by reactive
+    /// ones).
+    pub run_supervised: bool,
+    /// Supervisor tunables for the supervised substrate.
+    pub supervisor: SupervisorPolicy,
     /// Shrink simulator violations to minimal reproducers.
     pub shrink_violations: bool,
     /// Worker threads to spread schedules over: `0` sizes to the
@@ -70,6 +76,8 @@ impl Default for CampaignConfig {
             },
             run_sim: true,
             run_runtime: true,
+            run_supervised: false,
+            supervisor: SupervisorPolicy::default(),
             shrink_violations: true,
             workers: 0,
         }
@@ -105,6 +113,10 @@ pub struct CampaignSummary {
     pub runtime_decided: u64,
     /// Runtime runs that stalled gracefully.
     pub runtime_stalled: u64,
+    /// Supervised runs that decided.
+    pub supervised_decided: u64,
+    /// Supervised runs that stalled gracefully.
+    pub supervised_stalled: u64,
     /// Every safety violation, with reproducers.
     pub violations: Vec<CampaignViolation>,
 }
@@ -121,6 +133,8 @@ impl CampaignSummary {
             + self.sim_stalled
             + self.runtime_decided
             + self.runtime_stalled
+            + self.supervised_decided
+            + self.supervised_stalled
             + self.violations.len() as u64
     }
 }
@@ -129,12 +143,14 @@ impl fmt::Display for CampaignSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} schedules: sim {}/{} decided/stalled, runtime {}/{} decided/stalled, {} violations",
+            "{} schedules: sim {}/{} decided/stalled, runtime {}/{} decided/stalled, supervised {}/{} decided/stalled, {} violations",
             self.schedules,
             self.sim_decided,
             self.sim_stalled,
             self.runtime_decided,
             self.runtime_stalled,
+            self.supervised_decided,
+            self.supervised_stalled,
             self.violations.len()
         )
     }
@@ -153,6 +169,8 @@ fn record(
         (Substrate::Sim, ChaosOutcome::StalledGracefully) => summary.sim_stalled += 1,
         (Substrate::Runtime, ChaosOutcome::Decided) => summary.runtime_decided += 1,
         (Substrate::Runtime, ChaosOutcome::StalledGracefully) => summary.runtime_stalled += 1,
+        (Substrate::Supervised, ChaosOutcome::Decided) => summary.supervised_decided += 1,
+        (Substrate::Supervised, ChaosOutcome::StalledGracefully) => summary.supervised_stalled += 1,
         (_, ChaosOutcome::Violation(condition)) => {
             let shrunk = cfg
                 .shrink_violations
@@ -184,6 +202,10 @@ fn execute_schedule(cfg: &CampaignConfig, i: u64) -> ScheduleOutcomes {
     if cfg.run_runtime {
         let (rep, _) = run_on_runtime(&schedule, cfg.cluster);
         outcomes.push((Substrate::Runtime, rep.outcome));
+    }
+    if cfg.run_supervised {
+        let (rep, _, _) = run_on_supervised(&schedule, cfg.cluster, cfg.supervisor);
+        outcomes.push((Substrate::Supervised, rep.outcome));
     }
     (i, schedule, outcomes)
 }

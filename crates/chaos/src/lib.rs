@@ -42,9 +42,9 @@ mod theorem11;
 pub use adversary::ChaosAdversary;
 pub use campaign::{run_campaign, CampaignConfig, CampaignSummary, CampaignViolation};
 pub use outcome::{classify_verdict, ChaosOutcome, ChaosReport, Substrate};
-pub use runtime_driver::{classify_cluster, run_on_runtime, to_fault_plan};
+pub use runtime_driver::{classify_cluster, run_on_runtime, run_on_supervised, to_fault_plan};
 pub use schedule::{
-    ChaosCrash, ChaosDelay, ChaosFlap, ChaosRestart, ChaosSchedule, ScheduleParams,
+    ChaosCrash, ChaosDelay, ChaosFlap, ChaosPartition, ChaosRestart, ChaosSchedule, ScheduleParams,
 };
 pub use shrink::{shrink_schedule, shrink_sim_violation};
 pub use sim_driver::run_on_sim;

@@ -18,6 +18,9 @@ pub enum Substrate {
     Sim,
     /// The threaded real-time runtime (`rtc-runtime`).
     Runtime,
+    /// The threaded runtime driven by the self-healing supervisor
+    /// instead of the schedule's scripted restarts.
+    Supervised,
 }
 
 impl fmt::Display for Substrate {
@@ -25,6 +28,7 @@ impl fmt::Display for Substrate {
         match self {
             Substrate::Sim => write!(f, "sim"),
             Substrate::Runtime => write!(f, "runtime"),
+            Substrate::Supervised => write!(f, "supervised"),
         }
     }
 }
@@ -92,6 +96,12 @@ pub struct ChaosReport {
     pub outcome: ChaosOutcome,
     /// The full condition verdict the outcome was folded from.
     pub verdict: CommitVerdict,
+    /// Deliveries the run classified as *late* (arriving after some
+    /// processor took more than `K` steps in the send–receive window).
+    /// On the simulator this comes from the online
+    /// [`rtc_sim::LatenessMonitor`]; on the runtime from the link-delay
+    /// ledger.
+    pub late_messages: u64,
 }
 
 #[cfg(test)]

@@ -13,7 +13,10 @@ use std::time::Duration;
 use rtc_core::properties::{CommitVerdict, Condition};
 use rtc_core::{commit_population, CommitConfig};
 use rtc_model::{SeedCollection, TimingParams, Value};
-use rtc_runtime::{run_cluster_recoverable, ClusterOptions, ClusterReport, DelayModel, FaultPlan};
+use rtc_runtime::{
+    run_cluster_recoverable, run_cluster_supervised, ClusterOptions, ClusterReport, DelayModel,
+    FaultPlan, SupervisorPolicy, SupervisorReport,
+};
 
 use crate::outcome::{classify_verdict, ChaosReport, Substrate};
 use crate::schedule::{ChaosDelay, ChaosSchedule};
@@ -51,6 +54,19 @@ pub fn to_fault_plan(schedule: &ChaosSchedule, tick: Duration) -> FaultPlan {
             tick * u32::try_from(f.from_step).unwrap_or(u32::MAX),
             tick * u32::try_from(f.until_step).unwrap_or(u32::MAX),
         );
+    }
+    for part in &schedule.partitions {
+        plan = plan.with_partition(
+            part.groups(schedule.n),
+            tick * u32::try_from(part.from_step).unwrap_or(u32::MAX),
+            tick * u32::try_from(part.heal_step).unwrap_or(u32::MAX),
+        );
+    }
+    if schedule.duplicate_permille > 0 {
+        plan = plan.with_duplication(schedule.duplicate_permille);
+    }
+    if schedule.reorder_permille > 0 {
+        plan = plan.with_reordering(schedule.reorder_permille);
     }
     if schedule.degraded() {
         plan = plan.degraded();
@@ -141,13 +157,57 @@ pub fn run_on_runtime(
         opts,
     );
     let verdict = classify_cluster(schedule, &report, cfg.timing());
+    let late_messages = report.late_messages(cfg.timing().k()) as u64;
     (
         ChaosReport {
             substrate: Substrate::Runtime,
             outcome: classify_verdict(&verdict),
             verdict,
+            late_messages,
         },
         report,
+    )
+}
+
+/// Runs `schedule` on the threaded runtime under the self-healing
+/// supervisor instead of the scripted restart plan: the schedule's
+/// crashes (and hostile-network settings) still fire, but recovery is
+/// whatever the supervisor decides. Scripted restarts are ignored.
+///
+/// # Panics
+///
+/// Panics on the same config/plan inconsistencies as
+/// [`run_on_runtime`] — generated schedules never trigger them.
+pub fn run_on_supervised(
+    schedule: &ChaosSchedule,
+    opts: ClusterOptions,
+    policy: SupervisorPolicy,
+) -> (ChaosReport, ClusterReport, SupervisorReport) {
+    let cfg = CommitConfig::new(schedule.n, schedule.t, TimingParams::default())
+        .expect("schedule population accepts its fault bound")
+        .with_early_abort(schedule.early_abort);
+    let plan = to_fault_plan(schedule, opts.tick);
+    plan.validate(schedule.n, schedule.t)
+        .expect("generated schedules map to valid fault plans");
+    let (report, sup) = run_cluster_supervised(
+        commit_population(cfg, &schedule.votes),
+        SeedCollection::new(schedule.seed),
+        plan,
+        opts,
+        schedule.t,
+        policy,
+    );
+    let verdict = classify_cluster(schedule, &report, cfg.timing());
+    let late_messages = report.late_messages(cfg.timing().k()) as u64;
+    (
+        ChaosReport {
+            substrate: Substrate::Supervised,
+            outcome: classify_verdict(&verdict),
+            verdict,
+            late_messages,
+        },
+        report,
+        sup,
     )
 }
 
@@ -191,6 +251,9 @@ mod tests {
             crashes: Vec::new(),
             restarts: Vec::new(),
             flaps: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reorder_permille: 0,
         };
         let (rep, cluster) = run_on_runtime(&s, fast_opts());
         assert_eq!(rep.outcome, ChaosOutcome::Decided, "{:?}", cluster.statuses);
@@ -216,9 +279,43 @@ mod tests {
                 from_snapshot: true,
             }],
             flaps: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reorder_permille: 0,
         };
         let (rep, cluster) = run_on_runtime(&s, fast_opts());
         assert!(rep.outcome.is_safe(), "{}", rep.outcome);
         assert!(cluster.crashed[2] && cluster.recovered[2]);
+    }
+
+    #[test]
+    fn supervisor_substitutes_for_scripted_restarts() {
+        // Same crash as above but no scripted restart at all: the
+        // supervisor must notice the crash and bring the node back.
+        let s = ChaosSchedule {
+            seed: 33,
+            n: 3,
+            t: 1,
+            votes: vec![Value::One; 3],
+            early_abort: true,
+            delay: ChaosDelay::None,
+            crashes: vec![ChaosCrash {
+                victim: ProcessorId::new(2),
+                at_step: 4,
+                drop_final_sends: true,
+            }],
+            restarts: Vec::new(),
+            flaps: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reorder_permille: 0,
+        };
+        let mut opts = fast_opts();
+        opts.wall_timeout = Duration::from_secs(5);
+        let (rep, cluster, sup) = run_on_supervised(&s, opts, SupervisorPolicy::default());
+        assert!(rep.outcome.is_decided(), "{} / {sup:?}", rep.outcome);
+        assert!(cluster.crashed[2] && cluster.recovered[2], "{cluster:?}");
+        assert!(sup.restarts[2] >= 1);
+        assert!(sup.total_restarts() >= 1);
     }
 }

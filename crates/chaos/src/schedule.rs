@@ -58,6 +58,32 @@ pub struct ChaosFlap {
     pub until_step: u64,
 }
 
+/// One network partition: the processors in `side` are cut off from
+/// everyone else during the half-open step window
+/// `[from_step, heal_step)`, after which the network heals and buffered
+/// cross-cut traffic flows again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosPartition {
+    /// The minority side of the cut (nonempty, proper subset).
+    pub side: Vec<ProcessorId>,
+    /// Window start, in abstract steps.
+    pub from_step: u64,
+    /// Window end (exclusive), in abstract steps.
+    pub heal_step: u64,
+}
+
+impl ChaosPartition {
+    /// Group-per-processor encoding of the cut (side = 1, rest = 0),
+    /// as both substrates' partition primitives expect.
+    pub fn groups(&self, n: usize) -> Vec<u32> {
+        let mut g = vec![0u32; n];
+        for p in &self.side {
+            g[p.index()] = 1;
+        }
+        g
+    }
+}
+
 /// The network delay regime of a schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChaosDelay {
@@ -102,6 +128,14 @@ pub struct ChaosSchedule {
     pub restarts: Vec<ChaosRestart>,
     /// Scripted link flaps.
     pub flaps: Vec<ChaosFlap>,
+    /// Scripted healing partitions (at most one active at a time).
+    pub partitions: Vec<ChaosPartition>,
+    /// Probability, in thousandths, that a message is duplicated in
+    /// flight.
+    pub duplicate_permille: u32,
+    /// Probability, in thousandths, that a message is reordered behind
+    /// its queue mates.
+    pub reorder_permille: u32,
 }
 
 /// Knobs for the schedule generator.
@@ -188,6 +222,41 @@ impl ChaosSchedule {
             })
             .collect();
 
+        // At most one healing partition per schedule: the simulator
+        // keeps a single active cut at a time, and one cut per run is
+        // already the interesting case (quorum split, heal, decide).
+        let partitions = if rng.gen_range(0..100u32) < 35 {
+            let side_size = rng.gen_range(1..n);
+            let mut members: Vec<usize> = (0..n).collect();
+            for i in 0..side_size {
+                let j = rng.gen_range(i..n);
+                members.swap(i, j);
+            }
+            let mut side: Vec<ProcessorId> = members[..side_size]
+                .iter()
+                .map(|&p| ProcessorId::new(p))
+                .collect();
+            side.sort();
+            let from_step = rng.gen_range(0..=10u64);
+            vec![ChaosPartition {
+                side,
+                from_step,
+                heal_step: from_step + rng.gen_range(2..=8u64),
+            }]
+        } else {
+            Vec::new()
+        };
+        let duplicate_permille = if rng.gen_range(0..100u32) < 40 {
+            rng.gen_range(50..=300u32)
+        } else {
+            0
+        };
+        let reorder_permille = if rng.gen_range(0..100u32) < 40 {
+            rng.gen_range(50..=300u32)
+        } else {
+            0
+        };
+
         let max_crashes = if params.allow_degraded { t + 1 } else { t };
         let crash_count = rng.gen_range(0..=max_crashes);
         let mut victims: Vec<usize> = (0..n).collect();
@@ -229,6 +298,9 @@ impl ChaosSchedule {
             crashes,
             restarts,
             flaps,
+            partitions,
+            duplicate_permille,
+            reorder_permille,
         }
     }
 
@@ -275,6 +347,9 @@ impl ChaosSchedule {
             crashes,
             restarts,
             flaps: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reorder_permille: 0,
         }
     }
 
@@ -396,7 +471,28 @@ mod tests {
             for f in &s.flaps {
                 assert!(f.a != f.b && f.until_step > f.from_step);
             }
+            for part in &s.partitions {
+                assert!(!part.side.is_empty() && part.side.len() < s.n);
+                assert!(part.heal_step > part.from_step);
+                let groups = part.groups(s.n);
+                assert_eq!(groups.iter().filter(|g| **g == 1).count(), part.side.len());
+            }
+            assert!(s.duplicate_permille <= 1000 && s.reorder_permille <= 1000);
         }
+    }
+
+    #[test]
+    fn generation_exercises_the_hostile_network_vocabulary() {
+        let p = ScheduleParams::default();
+        let schedules: Vec<_> = (0..200)
+            .map(|i| ChaosSchedule::generate(&p, 42, i))
+            .collect();
+        assert!(
+            schedules.iter().any(|s| !s.partitions.is_empty()),
+            "campaigns should include partitions"
+        );
+        assert!(schedules.iter().any(|s| s.duplicate_permille > 0));
+        assert!(schedules.iter().any(|s| s.reorder_permille > 0));
     }
 
     #[test]

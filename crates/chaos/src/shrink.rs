@@ -21,6 +21,21 @@ fn candidates(s: &ChaosSchedule) -> Vec<ChaosSchedule> {
         c.flaps.remove(i);
         out.push(c);
     }
+    for i in 0..s.partitions.len() {
+        let mut c = s.clone();
+        c.partitions.remove(i);
+        out.push(c);
+    }
+    if s.duplicate_permille > 0 {
+        let mut c = s.clone();
+        c.duplicate_permille = 0;
+        out.push(c);
+    }
+    if s.reorder_permille > 0 {
+        let mut c = s.clone();
+        c.reorder_permille = 0;
+        out.push(c);
+    }
     if s.delay != ChaosDelay::None {
         let mut c = s.clone();
         c.delay = ChaosDelay::None;
@@ -113,6 +128,9 @@ mod tests {
         assert!(min.flaps.is_empty());
         assert!(min.restarts.is_empty());
         assert_eq!(min.delay, ChaosDelay::None);
+        assert!(min.partitions.is_empty());
+        assert_eq!(min.duplicate_permille, 0);
+        assert_eq!(min.reorder_permille, 0);
     }
 
     #[test]

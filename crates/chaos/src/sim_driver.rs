@@ -97,10 +97,12 @@ pub fn run_on_sim(schedule: &ChaosSchedule, max_events: u64) -> ChaosReport {
     };
 
     let verdict = verify_commit_run(&schedule.votes, &report, sim.trace(), cfg.timing());
+    let late_messages = sim.lateness().late_count() as u64;
     ChaosReport {
         substrate: Substrate::Sim,
         outcome: classify_verdict(&verdict),
         verdict,
+        late_messages,
     }
 }
 
@@ -124,6 +126,9 @@ mod tests {
             crashes: Vec::new(),
             restarts: Vec::new(),
             flaps: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reorder_permille: 0,
         }
     }
 
@@ -169,6 +174,25 @@ mod tests {
         // deciding (the revived processor owes a decision again) and
         // agreement holds.
         assert_eq!(rep.outcome, ChaosOutcome::Decided);
+    }
+
+    #[test]
+    fn hostile_network_schedule_decides_and_reports_lateness() {
+        use crate::schedule::ChaosPartition;
+        let mut s = plain(5, 17);
+        s.partitions.push(ChaosPartition {
+            side: vec![ProcessorId::new(0), ProcessorId::new(1)],
+            from_step: 1,
+            heal_step: 6,
+        });
+        s.duplicate_permille = 200;
+        s.reorder_permille = 200;
+        let rep = run_on_sim(&s, 400_000);
+        assert_eq!(rep.outcome, ChaosOutcome::Decided, "{rep:?}");
+        // A five-step cut across the quorum boundary forces at least
+        // one delivery past the K-window.
+        assert!(rep.late_messages > 0, "{rep:?}");
+        assert!(!rep.verdict.on_time);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * `>`   — sent messages (appended, e.g. `*2>` received 2 and sent)
 //! * `D`   — decided at this step (appended)
 //! * `X`   — crashed (failure event)
+//! * `+`   — a pending message of this processor was duplicated
+//! * `~`   — a pending message to this processor was reordered
 //!
 //! The right margin annotates decisions. This is a debugging aid — for
 //! long runs, pass a window to keep the output readable.
@@ -59,6 +61,17 @@ pub fn render(trace: &Trace, opts: DiagramOptions) -> String {
             EventView::Revive { p } => {
                 cells[p.index()].push('R');
                 note = format!("{p} revived");
+            }
+            EventView::Partition { groups, heal_at } => {
+                note = format!("partition {groups:?} until event {heal_at}");
+            }
+            EventView::Duplicate { p, original, copy } => {
+                cells[p.index()].push('+');
+                note = format!("{p}'s message {original} duplicated as {copy}");
+            }
+            EventView::Reorder { p, id } => {
+                cells[p.index()].push('~');
+                note = format!("message {id} reordered to the back of {p}'s queue");
             }
             EventView::Step {
                 p, delivered, sent, ..

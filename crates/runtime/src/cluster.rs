@@ -18,8 +18,10 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{unbounded, RecvTimeoutError};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rtc_model::{Automaton, Delivery, LocalClock, ProcessorId, SeedCollection, Status};
+use rand::{Rng, SeedableRng};
+use rtc_model::{
+    Automaton, Delivery, LocalClock, ProcessorId, SeedCollection, Status, TimingParams,
+};
 
 use crate::fault::FaultPlan;
 
@@ -36,10 +38,33 @@ pub struct ClusterOptions {
 
 impl Default for ClusterOptions {
     fn default() -> ClusterOptions {
+        ClusterOptions::derived(Duration::from_micros(500), TimingParams::default())
+    }
+}
+
+impl ClusterOptions {
+    /// Margin added to every derived wall timeout: scheduler noise,
+    /// injected faults, and CI load are all absorbed here rather than
+    /// in the model-derived part of the budget.
+    const WALL_MARGIN: Duration = Duration::from_secs(5);
+
+    /// How many failure-free decision windows the wall timeout allows
+    /// before giving up — headroom for runs that are late, degraded, or
+    /// waiting out restarts, not a model quantity.
+    const WALL_WINDOWS: u32 = 256;
+
+    /// Options whose wall timeout is derived from the timing constants
+    /// instead of hardcoded: one failure-free decision takes at most
+    /// [`TimingParams::failure_free_decision_bound`] (`8K`) ticks of
+    /// wall clock, and the timeout budgets [`Self::WALL_WINDOWS`] such
+    /// windows plus a fixed [`Self::WALL_MARGIN`]. See
+    /// `docs/MODEL.md` for the rationale.
+    pub fn derived(tick: Duration, timing: TimingParams) -> ClusterOptions {
+        let window = tick * u32::try_from(timing.failure_free_decision_bound()).unwrap_or(u32::MAX);
         ClusterOptions {
-            tick: Duration::from_micros(500),
+            tick,
             max_steps: 200_000,
-            wall_timeout: Duration::from_secs(10),
+            wall_timeout: window * Self::WALL_WINDOWS + Self::WALL_MARGIN,
         }
     }
 }
@@ -262,7 +287,7 @@ where
                     if now >= deadline {
                         break;
                     }
-                    match rx.recv_timeout(deadline - now) {
+                    match rx.recv_timeout(deadline.saturating_duration_since(now)) {
                         Ok(env) => {
                             link_delays
                                 .lock()
@@ -280,21 +305,52 @@ where
                 statuses.lock()[i] = auto.status();
                 for out in outs {
                     messages.fetch_add(1, Ordering::Relaxed);
+                    let mut hold = delay_model.sample(&mut net_rng);
+                    // A link outage or partition buffers the message
+                    // until its window closes (eventual delivery is
+                    // preserved).
+                    let at = started.elapsed();
+                    if let Some(until) = plan.outage_until(id, out.to, at) {
+                        hold = hold.max(until.saturating_sub(at));
+                    }
+                    if let Some(until) = plan.partition_until(id, out.to, at) {
+                        hold = hold.max(until.saturating_sub(at));
+                    }
+                    // Reordering: an extra few-tick hold lets younger
+                    // traffic overtake this message.
+                    if plan.reorder_permille > 0
+                        && net_rng.gen_range(0..1000u32) < plan.reorder_permille
+                    {
+                        hold += tick * net_rng.gen_range(1..=3u32);
+                    }
+                    // Duplication: a second copy of the payload rides
+                    // the delay heap with its own extra hold, so the
+                    // receiver may see it twice, possibly out of order.
+                    let dup = (plan.duplicate_permille > 0
+                        && net_rng.gen_range(0..1000u32) < plan.duplicate_permille)
+                        .then(|| Envelope {
+                            from: id,
+                            sent_at_tick: clock,
+                            msg: out.msg.clone(),
+                        });
                     let env = Envelope {
                         from: id,
                         sent_at_tick: clock,
                         msg: out.msg,
                     };
-                    let mut hold = delay_model.sample(&mut net_rng);
-                    // A link outage buffers the message until the window
-                    // closes (eventual delivery is preserved).
-                    let at = started.elapsed();
-                    if let Some(until) = plan.outage_until(id, out.to, at) {
-                        hold = hold.max(until.saturating_sub(at));
-                    }
                     if hold.is_zero() {
                         let _ = inbox_tx[out.to.index()].send(env);
                     } else {
+                        seq += 1;
+                        let _ = delay_tx.send(Delayed {
+                            due: Instant::now() + hold,
+                            seq,
+                            to: out.to.index(),
+                            env,
+                        });
+                    }
+                    if let Some(env) = dup {
+                        let hold = hold + tick * net_rng.gen_range(1..=3u32);
                         seq += 1;
                         let _ = delay_tx.send(Delayed {
                             due: Instant::now() + hold,
@@ -512,5 +568,62 @@ mod tests {
         );
         assert!(report.decided_in_time, "run timed out: {report:?}");
         assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn healed_partition_is_survived_consistently() {
+        // {p0, p1} vs {p2, p3, p4} for the first 3ms, then the network
+        // heals and buffered traffic flows. Either the run decides
+        // before the cut matters or the heal lets it finish; both ways
+        // agreement must hold and nobody may be left undecided.
+        let c = cfg(5);
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 5]),
+            SeedCollection::new(61),
+            FaultPlan::none().with_partition(
+                vec![0, 0, 1, 1, 1],
+                Duration::ZERO,
+                Duration::from_millis(3),
+            ),
+            opts(),
+        );
+        assert!(
+            report.decided_in_time,
+            "healed partition must not block the cluster: {report:?}"
+        );
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn duplication_and_reordering_preserve_agreement() {
+        // A third of messages are duplicated and a third held back out
+        // of order; the automata must absorb both without double-acting.
+        let c = cfg(5);
+        let report = run_cluster(
+            commit_population(c, &[Value::One; 5]),
+            SeedCollection::new(62),
+            FaultPlan::none().with_duplication(300).with_reordering(300),
+            opts(),
+        );
+        assert!(report.decided_in_time, "run timed out: {report:?}");
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+        assert!(report
+            .statuses
+            .iter()
+            .all(|s| s.decision() == Some(Decision::Commit)));
+    }
+
+    #[test]
+    fn derived_timeouts_scale_with_tick_and_bound() {
+        let timing = TimingParams::default();
+        let fine = ClusterOptions::derived(Duration::from_micros(100), timing);
+        let coarse = ClusterOptions::derived(Duration::from_millis(1), timing);
+        assert!(coarse.wall_timeout > fine.wall_timeout);
+        // Both budgets still dominate the margin, so a fault-free run
+        // never times out just because the tick is small.
+        assert!(fine.wall_timeout >= Duration::from_secs(5));
+        assert_eq!(ClusterOptions::default().tick, Duration::from_micros(500));
     }
 }

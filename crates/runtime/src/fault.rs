@@ -92,6 +92,35 @@ impl LinkOutage {
     }
 }
 
+/// A timed network partition: during `[from, until)` every message
+/// crossing a group boundary is buffered and released when the window
+/// closes — the multi-way generalization of [`LinkOutage`]. Traffic
+/// inside one group flows normally; eventual delivery is preserved by
+/// construction because the hold ends with the window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetPartition {
+    /// Group id per processor, indexed by processor id. Processors in
+    /// different groups cannot exchange messages during the window.
+    pub groups: Vec<u32>,
+    /// Window start, relative to cluster start.
+    pub from: Duration,
+    /// Window end (the heal), relative to cluster start.
+    pub until: Duration,
+}
+
+impl NetPartition {
+    /// Whether traffic between `x` and `y` at offset `at` crosses the
+    /// partition while it is active.
+    pub fn covers(&self, x: ProcessorId, y: ProcessorId, at: Duration) -> bool {
+        at >= self.from
+            && at < self.until
+            && match (self.groups.get(x.index()), self.groups.get(y.index())) {
+                (Some(gx), Some(gy)) => gx != gy,
+                _ => false,
+            }
+    }
+}
+
 /// A scripted restart: at offset `at` from cluster start, a crashed
 /// processor's thread is respawned — either from the snapshot captured
 /// at its crash (modelling stable storage surviving the fault) or from
@@ -129,6 +158,15 @@ pub enum FaultPlanError {
     DuplicateRestart(ProcessorId),
     /// A victim is outside the population `0..n`.
     UnknownProcessor(ProcessorId),
+    /// A partition's group vector does not cover the population.
+    MalformedPartition {
+        /// Population size.
+        expected: usize,
+        /// Length of the supplied group vector.
+        got: usize,
+    },
+    /// A probability knob exceeds 1000 permille.
+    PermilleOutOfRange(u32),
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -151,6 +189,15 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::UnknownProcessor(p) => {
                 write!(f, "processor {p:?} is outside the population")
             }
+            FaultPlanError::MalformedPartition { expected, got } => {
+                write!(
+                    f,
+                    "partition groups cover {got} processors, expected {expected}"
+                )
+            }
+            FaultPlanError::PermilleOutOfRange(v) => {
+                write!(f, "permille value {v} exceeds 1000")
+            }
         }
     }
 }
@@ -168,6 +215,17 @@ pub struct FaultPlan {
     pub delay: DelayModel,
     /// Scripted link outages.
     pub outages: Vec<LinkOutage>,
+    /// Scripted multi-way partitions.
+    pub partitions: Vec<NetPartition>,
+    /// Probability (in thousandths) that a sent message is duplicated:
+    /// a second copy is injected through the delay heap with its own
+    /// sampled hold, so the receiver may see the payload twice and in
+    /// either order. Automata must be idempotent against this.
+    pub duplicate_permille: u32,
+    /// Probability (in thousandths) that a sent message is held for an
+    /// extra one-to-three ticks, letting later traffic overtake it —
+    /// the runtime's reordering fault.
+    pub reorder_permille: u32,
     /// Acknowledges that the plan may exceed the fault bound `t`.
     /// Degraded plans exercise Theorem 11 territory: safety must still
     /// hold, but termination is only owed after enough restarts.
@@ -181,6 +239,9 @@ impl Default for FaultPlan {
             restarts: Vec::new(),
             delay: DelayModel::None,
             outages: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reorder_permille: 0,
             degraded: false,
         }
     }
@@ -235,6 +296,37 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a multi-way partition with group assignment `groups` over
+    /// `[from, until)`.
+    #[must_use]
+    pub fn with_partition(
+        mut self,
+        groups: Vec<u32>,
+        from: Duration,
+        until: Duration,
+    ) -> FaultPlan {
+        self.partitions.push(NetPartition {
+            groups,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Sets the probability (in thousandths) of message duplication.
+    #[must_use]
+    pub fn with_duplication(mut self, permille: u32) -> FaultPlan {
+        self.duplicate_permille = permille;
+        self
+    }
+
+    /// Sets the probability (in thousandths) of message reordering.
+    #[must_use]
+    pub fn with_reordering(mut self, permille: u32) -> FaultPlan {
+        self.reorder_permille = permille;
+        self
+    }
+
     /// Marks the plan as intentionally degraded (more than `t` crashes
     /// allowed); see [`FaultPlan::degraded`].
     #[must_use]
@@ -275,6 +367,19 @@ impl FaultPlan {
                 return Err(FaultPlanError::DuplicateRestart(r.victim));
             }
         }
+        for part in &self.partitions {
+            if part.groups.len() != n {
+                return Err(FaultPlanError::MalformedPartition {
+                    expected: n,
+                    got: part.groups.len(),
+                });
+            }
+        }
+        for permille in [self.duplicate_permille, self.reorder_permille] {
+            if permille > 1000 {
+                return Err(FaultPlanError::PermilleOutOfRange(permille));
+            }
+        }
         Ok(())
     }
 
@@ -298,6 +403,21 @@ impl FaultPlan {
             .iter()
             .filter(|o| o.covers(x, y, at))
             .map(|o| o.until)
+            .max()
+    }
+
+    /// If traffic between `x` and `y` at offset `at` crosses an active
+    /// partition, returns when the last covering window heals.
+    pub fn partition_until(
+        &self,
+        x: ProcessorId,
+        y: ProcessorId,
+        at: Duration,
+    ) -> Option<Duration> {
+        self.partitions
+            .iter()
+            .filter(|p| p.covers(x, y, at))
+            .map(|p| p.until)
             .max()
     }
 }
@@ -395,6 +515,86 @@ mod tests {
             })
         );
         assert_eq!(over.degraded().validate(5, 2), Ok(()));
+    }
+
+    #[test]
+    fn partition_covers_only_cross_group_pairs_in_window() {
+        let part = NetPartition {
+            groups: vec![0, 0, 1, 1],
+            from: Duration::from_millis(10),
+            until: Duration::from_millis(20),
+        };
+        let (a, b, c) = (
+            ProcessorId::new(0),
+            ProcessorId::new(1),
+            ProcessorId::new(2),
+        );
+        let mid = Duration::from_millis(15);
+        assert!(part.covers(a, c, mid), "cross-group traffic is cut");
+        assert!(part.covers(c, a, mid), "cuts are symmetric");
+        assert!(!part.covers(a, b, mid), "same-group traffic flows");
+        assert!(
+            !part.covers(a, c, Duration::from_millis(5)),
+            "before window"
+        );
+        assert!(
+            !part.covers(a, c, Duration::from_millis(20)),
+            "heal is exclusive"
+        );
+    }
+
+    #[test]
+    fn partition_until_reports_latest_covering_heal() {
+        let plan = FaultPlan::none()
+            .with_partition(
+                vec![0, 1, 1],
+                Duration::from_millis(0),
+                Duration::from_millis(10),
+            )
+            .with_partition(
+                vec![0, 1, 0],
+                Duration::from_millis(5),
+                Duration::from_millis(30),
+            );
+        let (a, b) = (ProcessorId::new(0), ProcessorId::new(1));
+        assert_eq!(
+            plan.partition_until(a, b, Duration::from_millis(6)),
+            Some(Duration::from_millis(30))
+        );
+        // p0 and p2 share a side in the second cut, so only the first
+        // window (healing at 10ms) applies to them.
+        assert_eq!(
+            plan.partition_until(a, ProcessorId::new(2), Duration::from_millis(6)),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(plan.partition_until(a, b, Duration::from_millis(40)), None);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_hostile_network_settings() {
+        let short =
+            FaultPlan::none().with_partition(vec![0, 1], Duration::ZERO, Duration::from_millis(5));
+        assert_eq!(
+            short.validate(5, 2),
+            Err(FaultPlanError::MalformedPartition {
+                expected: 5,
+                got: 2
+            })
+        );
+        let hot = FaultPlan::none().with_duplication(1001);
+        assert_eq!(
+            hot.validate(5, 2),
+            Err(FaultPlanError::PermilleOutOfRange(1001))
+        );
+        let ok = FaultPlan::none()
+            .with_partition(
+                vec![0, 0, 1, 1, 0],
+                Duration::ZERO,
+                Duration::from_millis(5),
+            )
+            .with_duplication(50)
+            .with_reordering(100);
+        assert_eq!(ok.validate(5, 2), Ok(()));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 mod cluster;
 mod fault;
 mod recovery;
+mod supervisor;
 
 pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
-pub use fault::{CrashAt, DelayModel, FaultPlan, FaultPlanError, LinkOutage, RestartAt};
+pub use fault::{
+    CrashAt, DelayModel, FaultPlan, FaultPlanError, LinkOutage, NetPartition, RestartAt,
+};
 pub use recovery::run_cluster_recoverable;
+pub use supervisor::{run_cluster_supervised, ClusterHealth, SupervisorPolicy, SupervisorReport};

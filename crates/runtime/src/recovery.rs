@@ -36,48 +36,58 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rtc_model::{Delivery, LocalClock, ProcessorId, Recoverable, SeedCollection, Status};
 
 use crate::cluster::{ClusterOptions, ClusterReport, Delayed, Envelope};
 use crate::fault::{FaultPlan, RestartAt};
 
 /// An inbox endpoint shareable across a node's successive incarnations.
-type SharedInbox<M> = Arc<Mutex<Receiver<Envelope<M>>>>;
+pub(crate) type SharedInbox<M> = Arc<Mutex<Receiver<Envelope<M>>>>;
 
 /// Everything the node, delayer, and monitor threads share.
-struct Shared<A: Recoverable> {
-    statuses: Mutex<Vec<Status>>,
-    steps: Mutex<Vec<u64>>,
-    done: AtomicBool,
-    messages: AtomicU64,
-    link_delays: Mutex<Vec<i64>>,
+pub(crate) struct Shared<A: Recoverable> {
+    pub(crate) statuses: Mutex<Vec<Status>>,
+    pub(crate) steps: Mutex<Vec<u64>>,
+    pub(crate) done: AtomicBool,
+    pub(crate) messages: AtomicU64,
+    pub(crate) link_delays: Mutex<Vec<i64>>,
     /// Crash-time snapshots — the stable storage a dying thread writes.
-    crash_snaps: Mutex<Vec<Option<A::Snapshot>>>,
+    pub(crate) crash_snaps: Mutex<Vec<Option<A::Snapshot>>>,
     /// Initial-state snapshots, the fallback for amnesiac restarts.
     /// (In a Mutex only to make `Shared` Sync without demanding
     /// `Snapshot: Sync`; it is written once, before any thread starts.)
-    init_snaps: Mutex<Vec<A::Snapshot>>,
+    pub(crate) init_snaps: Mutex<Vec<A::Snapshot>>,
     /// Currently crashed and not (yet) restarted.
-    down: Mutex<Vec<bool>>,
+    pub(crate) down: Mutex<Vec<bool>>,
     /// Whether each processor's scripted crash actually fired.
-    ever_crashed: Mutex<Vec<bool>>,
-    inbox_tx: Vec<Sender<Envelope<A::Msg>>>,
-    delay_tx: Sender<Delayed<A::Msg>>,
-    seeds: SeedCollection,
-    plan: FaultPlan,
-    start: Instant,
-    tick: Duration,
-    max_steps: u64,
+    pub(crate) ever_crashed: Mutex<Vec<bool>>,
+    pub(crate) inbox_tx: Vec<Sender<Envelope<A::Msg>>>,
+    pub(crate) delay_tx: Sender<Delayed<A::Msg>>,
+    pub(crate) seeds: SeedCollection,
+    pub(crate) plan: FaultPlan,
+    pub(crate) start: Instant,
+    pub(crate) tick: Duration,
+    pub(crate) max_steps: u64,
 }
 
 /// How a node thread comes up: the first incarnation, or a restart.
-enum Boot<A> {
-    Fresh { auto: A, crash_at: Option<u64> },
-    Restart { from_snapshot: bool },
+pub(crate) enum Boot<A> {
+    /// The first incarnation of a node, with its scripted crash step.
+    Fresh {
+        /// The automaton to run.
+        auto: A,
+        /// The scripted crash step, if any.
+        crash_at: Option<u64>,
+    },
+    /// A respawn of a crashed node.
+    Restart {
+        /// Restore from the crash snapshot (`true`) or rejoin amnesiac.
+        from_snapshot: bool,
+    },
 }
 
-fn spawn_node<A>(
+pub(crate) fn spawn_node<A>(
     shared: Arc<Shared<A>>,
     i: usize,
     rx: SharedInbox<A::Msg>,
@@ -133,7 +143,7 @@ where
                 if now >= deadline {
                     break;
                 }
-                match rx.recv_timeout(deadline - now) {
+                match rx.recv_timeout(deadline.saturating_duration_since(now)) {
                     Ok(env) => {
                         shared
                             .link_delays
@@ -152,21 +162,50 @@ where
             shared.statuses.lock()[i] = auto.status();
             for out in outs {
                 shared.messages.fetch_add(1, Ordering::Relaxed);
+                let mut hold = shared.plan.delay.sample(&mut net_rng);
+                // A link outage or partition buffers the message until
+                // its window closes (eventual delivery is preserved).
+                let at = shared.start.elapsed();
+                if let Some(until) = shared.plan.outage_until(id, out.to, at) {
+                    hold = hold.max(until.saturating_sub(at));
+                }
+                if let Some(until) = shared.plan.partition_until(id, out.to, at) {
+                    hold = hold.max(until.saturating_sub(at));
+                }
+                // Reordering: an extra few-tick hold lets younger
+                // traffic overtake this message.
+                if shared.plan.reorder_permille > 0
+                    && net_rng.gen_range(0..1000u32) < shared.plan.reorder_permille
+                {
+                    hold += shared.tick * net_rng.gen_range(1..=3u32);
+                }
+                // Duplication: a second copy of the payload rides the
+                // delay heap with its own extra hold.
+                let dup = (shared.plan.duplicate_permille > 0
+                    && net_rng.gen_range(0..1000u32) < shared.plan.duplicate_permille)
+                    .then(|| Envelope {
+                        from: id,
+                        sent_at_tick: clock,
+                        msg: out.msg.clone(),
+                    });
                 let env = Envelope {
                     from: id,
                     sent_at_tick: clock,
                     msg: out.msg,
                 };
-                let mut hold = shared.plan.delay.sample(&mut net_rng);
-                // A link outage buffers the message until the window
-                // closes (eventual delivery is preserved).
-                let at = shared.start.elapsed();
-                if let Some(until) = shared.plan.outage_until(id, out.to, at) {
-                    hold = hold.max(until.saturating_sub(at));
-                }
                 if hold.is_zero() {
                     let _ = shared.inbox_tx[out.to.index()].send(env);
                 } else {
+                    seq += 1;
+                    let _ = shared.delay_tx.send(Delayed {
+                        due: Instant::now() + hold,
+                        seq,
+                        to: out.to.index(),
+                        env,
+                    });
+                }
+                if let Some(env) = dup {
+                    let hold = hold + shared.tick * net_rng.gen_range(1..=3u32);
                     seq += 1;
                     let _ = shared.delay_tx.send(Delayed {
                         due: Instant::now() + hold,
@@ -214,77 +253,7 @@ where
     A::Msg: Send + 'static,
 {
     let n = procs.len();
-    assert!(n > 0, "cluster needs at least one processor");
-    let start = Instant::now();
-
-    let mut inbox_tx = Vec::with_capacity(n);
-    let mut inbox_rx: Vec<SharedInbox<A::Msg>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded::<Envelope<A::Msg>>();
-        inbox_tx.push(tx);
-        inbox_rx.push(Arc::new(Mutex::new(rx)));
-    }
-    let (delay_tx, delay_rx) = unbounded::<Delayed<A::Msg>>();
-
-    let init_snaps: Vec<A::Snapshot> = procs.iter().map(Recoverable::snapshot).collect();
-    let shared = Arc::new(Shared::<A> {
-        statuses: Mutex::new(vec![Status::Undecided; n]),
-        steps: Mutex::new(vec![0; n]),
-        done: AtomicBool::new(false),
-        messages: AtomicU64::new(0),
-        link_delays: Mutex::new(Vec::new()),
-        crash_snaps: Mutex::new((0..n).map(|_| None).collect()),
-        init_snaps: Mutex::new(init_snaps),
-        down: Mutex::new(vec![false; n]),
-        ever_crashed: Mutex::new(vec![false; n]),
-        inbox_tx,
-        delay_tx,
-        seeds,
-        plan: faults.clone(),
-        start,
-        tick: opts.tick,
-        max_steps: opts.max_steps,
-    });
-
-    // The delayer thread; returns the count of held messages whose hold
-    // outlived the run (accounted, not silently dropped).
-    let delayer = {
-        let shared = Arc::clone(&shared);
-        thread::spawn(move || -> u64 {
-            let mut heap: BinaryHeap<Delayed<A::Msg>> = BinaryHeap::new();
-            loop {
-                let timeout = heap
-                    .peek()
-                    .map(|d| d.due.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(5));
-                match delay_rx.recv_timeout(timeout) {
-                    Ok(d) => heap.push(d),
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => return heap.len() as u64,
-                }
-                let now = Instant::now();
-                while heap.peek().is_some_and(|d| d.due <= now) {
-                    let d = heap.pop().expect("peeked");
-                    let _ = shared.inbox_tx[d.to].send(d.env);
-                }
-                if shared.done.load(Ordering::Relaxed) {
-                    return heap.len() as u64;
-                }
-            }
-        })
-    };
-
-    // First incarnations.
-    let mut handles = Vec::with_capacity(n);
-    for (i, auto) in procs.into_iter().enumerate() {
-        let crash_at = faults.crash_step(ProcessorId::new(i));
-        handles.push(spawn_node(
-            Arc::clone(&shared),
-            i,
-            Arc::clone(&inbox_rx[i]),
-            Boot::Fresh { auto, crash_at },
-        ));
-    }
+    let mut core = ClusterCore::boot(procs, seeds, faults.clone(), &opts);
 
     // Monitor: fire due restarts, stop when everyone owing a decision
     // has one, give up at the wall timeout.
@@ -292,65 +261,181 @@ where
     pending.sort_by_key(|r| r.at);
     let mut recovered = vec![false; n];
     let mut decided_in_time = false;
-    while start.elapsed() < opts.wall_timeout {
-        let now = start.elapsed();
+    while core.start.elapsed() < opts.wall_timeout {
+        let now = core.start.elapsed();
         let mut i = 0;
         while i < pending.len() {
             let r = pending[i];
             let idx = r.victim.index();
             // A restart fires at its offset or at the victim's actual
             // crash, whichever is later.
-            if now >= r.at && shared.down.lock()[idx] {
-                // Marked up here (not in the spawned thread) so the
-                // decision check below immediately owes this processor
-                // a decision again — no window where the run could end
-                // without it.
-                shared.down.lock()[idx] = false;
+            if now >= r.at && core.shared.down.lock()[idx] {
+                core.respawn(idx, r.from_snapshot);
                 recovered[idx] = true;
-                handles.push(spawn_node(
-                    Arc::clone(&shared),
-                    idx,
-                    Arc::clone(&inbox_rx[idx]),
-                    Boot::Restart {
-                        from_snapshot: r.from_snapshot,
-                    },
-                ));
                 pending.remove(i);
             } else {
                 i += 1;
             }
         }
-        let all_done = pending.is_empty() && {
-            let st = shared.statuses.lock();
-            let down = shared.down.lock().clone();
-            st.iter()
-                .zip(&down)
-                .all(|(s, is_down)| *is_down || s.is_decided())
-        };
-        if all_done {
+        if pending.is_empty() && core.all_owing_decided() {
             decided_in_time = true;
             break;
         }
         thread::sleep(opts.tick);
     }
-    shared.done.store(true, Ordering::Relaxed);
-    for h in handles {
-        let _ = h.join();
-    }
-    let messages_undelivered = delayer.join().unwrap_or(0);
+    core.finish(recovered, decided_in_time)
+}
 
-    let report = ClusterReport {
-        statuses: shared.statuses.lock().clone(),
-        steps: shared.steps.lock().clone(),
-        crashed: shared.ever_crashed.lock().clone(),
-        recovered,
-        messages_sent: shared.messages.load(Ordering::Relaxed),
-        messages_undelivered,
-        wall: start.elapsed(),
-        decided_in_time,
-        link_delays: shared.link_delays.lock().clone(),
-    };
-    report
+/// A booted recoverable cluster: node threads running, delayer running,
+/// ready to be driven by a monitor loop. Factored out so the scripted
+/// restart driver ([`run_cluster_recoverable`]) and the reactive
+/// [`Supervisor`](crate::Supervisor) share one bootstrap and teardown.
+pub(crate) struct ClusterCore<A: Recoverable + Send + 'static>
+where
+    A::Msg: Send + 'static,
+{
+    pub(crate) shared: Arc<Shared<A>>,
+    pub(crate) inbox_rx: Vec<SharedInbox<A::Msg>>,
+    pub(crate) handles: Vec<thread::JoinHandle<()>>,
+    pub(crate) delayer: thread::JoinHandle<u64>,
+    pub(crate) start: Instant,
+}
+
+impl<A> ClusterCore<A>
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    /// Builds the channels and shared state, spawns the delayer and the
+    /// first incarnation of every node.
+    pub(crate) fn boot(
+        procs: Vec<A>,
+        seeds: SeedCollection,
+        faults: FaultPlan,
+        opts: &ClusterOptions,
+    ) -> ClusterCore<A> {
+        let n = procs.len();
+        assert!(n > 0, "cluster needs at least one processor");
+        let start = Instant::now();
+
+        let mut inbox_tx = Vec::with_capacity(n);
+        let mut inbox_rx: Vec<SharedInbox<A::Msg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<A::Msg>>();
+            inbox_tx.push(tx);
+            inbox_rx.push(Arc::new(Mutex::new(rx)));
+        }
+        let (delay_tx, delay_rx) = unbounded::<Delayed<A::Msg>>();
+
+        let init_snaps: Vec<A::Snapshot> = procs.iter().map(Recoverable::snapshot).collect();
+        let shared = Arc::new(Shared::<A> {
+            statuses: Mutex::new(vec![Status::Undecided; n]),
+            steps: Mutex::new(vec![0; n]),
+            done: AtomicBool::new(false),
+            messages: AtomicU64::new(0),
+            link_delays: Mutex::new(Vec::new()),
+            crash_snaps: Mutex::new((0..n).map(|_| None).collect()),
+            init_snaps: Mutex::new(init_snaps),
+            down: Mutex::new(vec![false; n]),
+            ever_crashed: Mutex::new(vec![false; n]),
+            inbox_tx,
+            delay_tx,
+            seeds,
+            plan: faults.clone(),
+            start,
+            tick: opts.tick,
+            max_steps: opts.max_steps,
+        });
+
+        // The delayer thread; returns the count of held messages whose
+        // hold outlived the run (accounted, not silently dropped).
+        let delayer = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || -> u64 {
+                let mut heap: BinaryHeap<Delayed<A::Msg>> = BinaryHeap::new();
+                loop {
+                    let timeout = heap
+                        .peek()
+                        .map(|d| d.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(5));
+                    match delay_rx.recv_timeout(timeout) {
+                        Ok(d) => heap.push(d),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => return heap.len() as u64,
+                    }
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|d| d.due <= now) {
+                        let d = heap.pop().expect("peeked");
+                        let _ = shared.inbox_tx[d.to].send(d.env);
+                    }
+                    if shared.done.load(Ordering::Relaxed) {
+                        return heap.len() as u64;
+                    }
+                }
+            })
+        };
+
+        // First incarnations.
+        let mut handles = Vec::with_capacity(n);
+        for (i, auto) in procs.into_iter().enumerate() {
+            let crash_at = faults.crash_step(ProcessorId::new(i));
+            handles.push(spawn_node(
+                Arc::clone(&shared),
+                i,
+                Arc::clone(&inbox_rx[i]),
+                Boot::Fresh { auto, crash_at },
+            ));
+        }
+        ClusterCore {
+            shared,
+            inbox_rx,
+            handles,
+            delayer,
+            start,
+        }
+    }
+
+    /// Respawns a down node. Marked up here (not in the spawned thread)
+    /// so decision checks immediately owe this processor a decision
+    /// again — no window where the run could end without it.
+    pub(crate) fn respawn(&mut self, idx: usize, from_snapshot: bool) {
+        self.shared.down.lock()[idx] = false;
+        self.handles.push(spawn_node(
+            Arc::clone(&self.shared),
+            idx,
+            Arc::clone(&self.inbox_rx[idx]),
+            Boot::Restart { from_snapshot },
+        ));
+    }
+
+    /// Whether every processor that is not currently down has decided.
+    pub(crate) fn all_owing_decided(&self) -> bool {
+        let st = self.shared.statuses.lock();
+        let down = self.shared.down.lock().clone();
+        st.iter()
+            .zip(&down)
+            .all(|(s, is_down)| *is_down || s.is_decided())
+    }
+
+    /// Stops every thread and assembles the report.
+    pub(crate) fn finish(self, recovered: Vec<bool>, decided_in_time: bool) -> ClusterReport {
+        self.shared.done.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            let _ = h.join();
+        }
+        let messages_undelivered = self.delayer.join().unwrap_or(0);
+        ClusterReport {
+            statuses: self.shared.statuses.lock().clone(),
+            steps: self.shared.steps.lock().clone(),
+            crashed: self.shared.ever_crashed.lock().clone(),
+            recovered,
+            messages_sent: self.shared.messages.load(Ordering::Relaxed),
+            messages_undelivered,
+            wall: self.start.elapsed(),
+            decided_in_time,
+            link_delays: self.shared.link_delays.lock().clone(),
+        }
+    }
 }
 
 #[cfg(test)]

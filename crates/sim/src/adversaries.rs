@@ -665,6 +665,7 @@ mod tests {
                 event: self.event,
                 fault_budget: 1,
                 crashes_used: 0,
+                partition: None,
             }
         }
     }

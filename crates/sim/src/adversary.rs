@@ -62,6 +62,37 @@ pub enum Action {
         /// should never be delivered.
         drop: Vec<MsgId>,
     },
+    /// Partition the network: until the global event counter reaches
+    /// `heal_at`, messages may only be delivered between processors in
+    /// the same group. Buffered cross-group messages stay buffered (they
+    /// remain *guaranteed*: on heal the fairness envelope force-delivers
+    /// any that have become overdue, so eventual delivery holds and the
+    /// model's assumptions are preserved). A new partition replaces any
+    /// active one; an admissible adversary's partition window may not
+    /// exceed [`crate::FairnessParams::max_defer_events`].
+    Partition {
+        /// Group id per processor (`groups[p]`), length `n`. Delivery is
+        /// blocked exactly between processors with different group ids.
+        groups: Vec<u32>,
+        /// Global event index at which the partition heals.
+        heal_at: u64,
+    },
+    /// Duplicate a buffered message: a copy with a fresh [`MsgId`] (and
+    /// the current event as its send event) is enqueued at the tail of
+    /// the same destination's buffer. Both copies are guaranteed, so the
+    /// destination ingests the same payload twice — which the protocol
+    /// automata must tolerate idempotently.
+    Duplicate {
+        /// The buffered message to duplicate.
+        id: MsgId,
+    },
+    /// Reorder a buffered message: move it to the tail of its
+    /// destination's pending list, behind messages sent after it. The
+    /// message stays guaranteed; only its position changes.
+    Reorder {
+        /// The buffered message to move to the back.
+        id: MsgId,
+    },
 }
 
 /// The message pattern of the run so far: everything a Section-2.3
@@ -80,6 +111,8 @@ pub struct PatternView<'a> {
     pub(crate) event: u64,
     pub(crate) fault_budget: usize,
     pub(crate) crashes_used: usize,
+    /// Active partition, if any: `(group-per-processor, heal_at)`.
+    pub(crate) partition: Option<(&'a [u32], u64)>,
 }
 
 impl<'a> PatternView<'a> {
@@ -142,6 +175,27 @@ impl<'a> PatternView<'a> {
     /// How many more crashes the fault budget `t` permits.
     pub fn crashes_remaining(&self) -> usize {
         self.fault_budget.saturating_sub(self.crashes_used)
+    }
+
+    /// Whether an active partition currently blocks delivery from
+    /// `from` to `to`. Delivering a blocked message is a
+    /// [`crate::SimError::DeliverPartitioned`] violation, so adversaries
+    /// (and replay fallbacks) filter on this.
+    pub fn is_blocked(&self, from: ProcessorId, to: ProcessorId) -> bool {
+        match self.partition {
+            Some((groups, heal_at)) => {
+                self.event < heal_at && groups[from.index()] != groups[to.index()]
+            }
+            None => false,
+        }
+    }
+
+    /// The heal event of the active partition, if one is in force.
+    pub fn partition_heals_at(&self) -> Option<u64> {
+        match self.partition {
+            Some((_, heal_at)) if self.event < heal_at => Some(heal_at),
+            _ => None,
+        }
     }
 }
 
@@ -259,6 +313,7 @@ mod tests {
             event: 6,
             fault_budget: 1,
             crashes_used: 0,
+            partition: None,
         };
         assert_eq!(view.population(), 2);
         assert_eq!(view.pending(ProcessorId::new(0)).len(), 1);
@@ -295,6 +350,7 @@ mod tests {
             event: 10,
             fault_budget: 0,
             crashes_used: 0,
+            partition: None,
         };
         let sends = view.last_sends_of(ProcessorId::new(0));
         assert_eq!(sends.len(), 1);
@@ -321,6 +377,7 @@ mod tests {
                 event: 6,
                 fault_budget: 0,
                 crashes_used: 0,
+                partition: None,
             },
             payloads: &payloads,
         };

@@ -12,8 +12,25 @@ use rtc_model::{
 use crate::adversary::{Action, Adversary, ContentAdversary, ContentView, PatternView};
 
 use crate::envelope::{MsgId, MsgMeta};
+use crate::lateness::LatenessMonitor;
 use crate::store::MsgStore;
 use crate::trace::{DecisionRecord, MsgRecord, Trace};
+
+/// An active network partition: processors in different groups cannot
+/// exchange messages until the heal event.
+#[derive(Clone, Debug)]
+struct PartitionState {
+    /// Group id per processor, indexed by processor.
+    group: Vec<u32>,
+    /// First event index at which delivery is unrestricted again.
+    heal_at: u64,
+}
+
+impl PartitionState {
+    fn blocks(&self, from: ProcessorId, to: ProcessorId) -> bool {
+        self.group[from.index()] != self.group[to.index()]
+    }
+}
 
 /// Errors produced when an adversary's action violates the model.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +79,34 @@ pub enum SimError {
         /// The processor that is still alive.
         p: ProcessorId,
     },
+    /// A delivery would cross an active partition boundary.
+    DeliverPartitioned {
+        /// The stepping processor.
+        p: ProcessorId,
+        /// The blocked message.
+        id: MsgId,
+    },
+    /// A duplicate/reorder action named a message that is not buffered.
+    MsgNotBuffered {
+        /// The missing message.
+        id: MsgId,
+    },
+    /// A partition's group assignment does not cover the population.
+    MalformedPartition {
+        /// Population size.
+        expected: usize,
+        /// Length of the supplied group vector.
+        got: usize,
+    },
+    /// An admissible adversary tried to hold a partition open longer
+    /// than the fairness envelope's deferral bound, which would break
+    /// eventual delivery.
+    PartitionTooLong {
+        /// The requested heal event.
+        heal_at: u64,
+        /// The latest heal event the envelope admits.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +131,24 @@ impl fmt::Display for SimError {
             }
             SimError::ReviveNotCrashed { p } => {
                 write!(f, "{p} is not crashed and cannot be revived")
+            }
+            SimError::DeliverPartitioned { p, id } => {
+                write!(f, "message {id} to {p} is blocked by an active partition")
+            }
+            SimError::MsgNotBuffered { id } => {
+                write!(f, "message {id} is not buffered anywhere")
+            }
+            SimError::MalformedPartition { expected, got } => {
+                write!(
+                    f,
+                    "partition groups cover {got} processors, expected {expected}"
+                )
+            }
+            SimError::PartitionTooLong { heal_at, limit } => {
+                write!(
+                    f,
+                    "partition healing at event {heal_at} exceeds the fairness limit {limit}"
+                )
             }
         }
     }
@@ -278,6 +341,7 @@ impl SimBuilder {
         let fairness = self
             .fairness
             .unwrap_or_else(|| FairnessParams::for_population(n));
+        let monitor = LatenessMonitor::new(n, self.timing.k());
         Ok(Sim {
             timing: self.timing,
             seeds: self.seeds,
@@ -301,6 +365,9 @@ impl SimBuilder {
             deliv_scratch: Vec::new(),
             sent_scratch: Vec::new(),
             stop_scratch: Vec::new(),
+            partition: None,
+            reordered: false,
+            monitor,
         })
     }
 }
@@ -353,6 +420,15 @@ pub struct Sim<A: Automaton> {
     /// Scratch for the per-processor stop-condition flags used by
     /// `run_core`, reused across run segments.
     stop_scratch: Vec<bool>,
+    /// The active partition, if any; cleared lazily once the event
+    /// counter passes its heal point.
+    partition: Option<PartitionState>,
+    /// Set once any message has been reordered: per-destination lists
+    /// are no longer sorted by send event, so the fairness envelope
+    /// must fall back from its prefix fast path to a full scan.
+    reordered: bool,
+    /// Online on-time/late classifier for every delivery.
+    monitor: LatenessMonitor,
 }
 
 impl<A: Automaton> fmt::Debug for Sim<A> {
@@ -507,19 +583,27 @@ impl<A: Automaton> Sim<A> {
                     adversary.next(&view)
                 }
             };
+            // Network-plane actions (partition/duplicate/reorder) have
+            // no acting processor and never change automaton statuses,
+            // so the incremental stop-condition recheck is skipped.
             let acting = match &action {
-                Action::Step { p, .. } | Action::Crash { p, .. } => p.index(),
+                Action::Step { p, .. } | Action::Crash { p, .. } => Some(p.index()),
+                Action::Partition { .. } | Action::Duplicate { .. } | Action::Reorder { .. } => {
+                    None
+                }
             };
             if let Err(e) = self.apply(action, admissible) {
                 break Err(e);
             }
-            let ok = self.proc_ok(acting, stop);
-            if ok != satisfied[acting] {
-                satisfied[acting] = ok;
-                if ok {
-                    remaining -= 1;
-                } else {
-                    remaining += 1;
+            if let Some(acting) = acting {
+                let ok = self.proc_ok(acting, stop);
+                if ok != satisfied[acting] {
+                    satisfied[acting] = ok;
+                    if ok {
+                        remaining -= 1;
+                    } else {
+                        remaining += 1;
+                    }
                 }
             }
         };
@@ -560,6 +644,20 @@ impl<A: Automaton> Sim<A> {
             event: self.event,
             fault_budget: self.fault_budget,
             crashes_used: self.crashes_used,
+            partition: self
+                .partition
+                .as_ref()
+                .map(|ps| (ps.group.as_slice(), ps.heal_at)),
+        }
+    }
+
+    /// Drops the active partition once the event counter reaches its
+    /// heal point, restoring unrestricted delivery.
+    fn refresh_partition(&mut self) {
+        if let Some(ps) = &self.partition {
+            if self.event >= ps.heal_at {
+                self.partition = None;
+            }
         }
     }
 
@@ -576,8 +674,14 @@ impl<A: Automaton> Sim<A> {
         if self.event < self.next_forced_at {
             return None;
         }
+        self.refresh_partition();
         let defer = self.fairness.max_defer_events;
         let idle = self.fairness.max_idle_events;
+        // A hostile network perturbs the scan: an active partition
+        // blocks some messages (they must not be force-delivered until
+        // the heal), and a past reorder breaks the sorted-prefix
+        // invariant the fast path depends on.
+        let hostile = self.partition.is_some() || self.reordered;
         // Overdue guaranteed messages to alive processors first. Within
         // a destination send events are nondecreasing, so the overdue
         // messages are exactly a prefix of its pending list (every
@@ -586,12 +690,24 @@ impl<A: Automaton> Sim<A> {
             if self.crashed[i] {
                 continue;
             }
-            let overdue: Vec<MsgId> = self
-                .store
-                .iter_dest(i)
-                .take_while(|m| m.guaranteed && self.event.saturating_sub(m.send_event) > defer)
-                .map(|m| m.id)
-                .collect();
+            let overdue: Vec<MsgId> = if hostile {
+                let part = self.partition.as_ref();
+                self.store
+                    .iter_dest(i)
+                    .filter(|m| {
+                        m.guaranteed
+                            && self.event.saturating_sub(m.send_event) > defer
+                            && part.is_none_or(|ps| !ps.blocks(m.from, m.to))
+                    })
+                    .map(|m| m.id)
+                    .collect()
+            } else {
+                self.store
+                    .iter_dest(i)
+                    .take_while(|m| m.guaranteed && self.event.saturating_sub(m.send_event) > defer)
+                    .map(|m| m.id)
+                    .collect()
+            };
             if !overdue.is_empty() {
                 return Some(Action::Step {
                     p: ProcessorId::new(i),
@@ -612,12 +728,27 @@ impl<A: Automaton> Sim<A> {
         // anything could. Heads only move later and idle clocks only
         // reset forward, so the bound stays valid until a send
         // (min-updated there) or a revive (reset there) perturbs it.
+        // Partition-blocked messages cannot be forced before the heal
+        // point, so their candidate is clamped to it — that guarantees a
+        // rescan right at the heal, which is what makes delivery across
+        // a healed partition eventual.
         let mut next = u64::MAX;
         for i in 0..self.autos.len() {
             if self.crashed[i] {
                 continue;
             }
-            if let Some(m) = self.store.head_meta(i) {
+            if hostile {
+                let part = self.partition.as_ref();
+                for m in self.store.iter_dest(i) {
+                    let mut due = m.send_event.saturating_add(defer).saturating_add(1);
+                    if let Some(ps) = part {
+                        if ps.blocks(m.from, m.to) {
+                            due = due.max(ps.heal_at);
+                        }
+                    }
+                    next = next.min(due);
+                }
+            } else if let Some(m) = self.store.head_meta(i) {
                 next = next.min(m.send_event.saturating_add(defer).saturating_add(1));
             }
             next = next.min(
@@ -631,9 +762,15 @@ impl<A: Automaton> Sim<A> {
     }
 
     fn apply(&mut self, action: Action, admissible: bool) -> Result<(), SimError> {
+        self.refresh_partition();
         match action {
             Action::Step { p, deliver } => self.apply_step(p, deliver),
             Action::Crash { p, drop } => self.apply_crash(p, drop, admissible),
+            Action::Partition { groups, heal_at } => {
+                self.apply_partition(groups, heal_at, admissible)
+            }
+            Action::Duplicate { id } => self.apply_duplicate(id),
+            Action::Reorder { id } => self.apply_reorder(id),
         }
     }
 
@@ -650,6 +787,16 @@ impl<A: Automaton> Sim<A> {
         let mut deliveries = std::mem::take(&mut self.deliv_scratch);
         deliveries.clear();
         for id in &deliver {
+            // An active partition (refreshed in `apply`, so it is live)
+            // vetoes any delivery crossing the group boundary.
+            if let Some(ps) = &self.partition {
+                if let Some(m) = self.store.lookup(*id) {
+                    if ps.blocks(m.from, m.to) {
+                        self.deliv_scratch = deliveries;
+                        return Err(SimError::DeliverPartitioned { p, id: *id });
+                    }
+                }
+            }
             let Some((slot, meta)) = self.store.remove_for(*id, i) else {
                 self.deliv_scratch = deliveries;
                 return Err(SimError::DeliverNotBuffered { p, id: *id });
@@ -739,8 +886,15 @@ impl<A: Automaton> Sim<A> {
         } else {
             self.last_sent[i].clear();
         }
+        // The receiving step itself counts toward the lateness interval,
+        // so it is recorded before the deliveries are classified.
+        self.monitor.note_step(i, self.event);
         for id in &deliver {
             self.trace.note_delivery(*id, self.event, clock_after);
+            let send_event = self.trace.messages()[id.index()].send_event;
+            if self.monitor.classify_delivery(*id, send_event) {
+                self.trace.mark_late(*id);
+            }
         }
         self.trace.push_step(p, clock_after, &deliver, &sent_ids);
         sent_ids.clear();
@@ -800,6 +954,110 @@ impl<A: Automaton> Sim<A> {
         self.trace.push_crash(p);
         self.event += 1;
         Ok(())
+    }
+
+    fn apply_partition(
+        &mut self,
+        groups: Vec<u32>,
+        heal_at: u64,
+        admissible: bool,
+    ) -> Result<(), SimError> {
+        let n = self.autos.len();
+        if groups.len() != n {
+            return Err(SimError::MalformedPartition {
+                expected: n,
+                got: groups.len(),
+            });
+        }
+        if admissible {
+            // A partition outliving the deferral bound would let the
+            // adversary starve a guaranteed message past the envelope,
+            // contradicting eventual delivery.
+            let limit = self.event.saturating_add(self.fairness.max_defer_events);
+            if heal_at > limit {
+                return Err(SimError::PartitionTooLong { heal_at, limit });
+            }
+        }
+        self.trace.push_partition(&groups, heal_at);
+        self.partition = Some(PartitionState {
+            group: groups,
+            heal_at,
+        });
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_duplicate(&mut self, id: MsgId) -> Result<(), SimError> {
+        let Some(slot) = self.store.slot_index(id) else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        let Some(orig) = self.store.lookup(id).copied() else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        let Some(payload) = self.payloads[slot].clone() else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        // The copy is a first-class message: fresh dense id, sent "now"
+        // (so tail insertion keeps per-destination send order), same
+        // endpoints and logical send clock as the original, and
+        // guaranteed — the network may duplicate, never forge or drop.
+        let copy = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let meta = MsgMeta {
+            id: copy,
+            from: orig.from,
+            to: orig.to,
+            send_event: self.event,
+            sender_clock: orig.sender_clock,
+            guaranteed: true,
+        };
+        let new_slot = self.store.insert(meta);
+        if new_slot == self.payloads.len() {
+            self.payloads.push(Some(payload));
+        } else {
+            self.payloads[new_slot] = Some(payload);
+        }
+        self.trace.push_msg(MsgRecord {
+            id: copy,
+            from: orig.from,
+            to: orig.to,
+            send_event: self.event,
+            sender_clock: orig.sender_clock,
+            recv_event: None,
+            recv_clock: None,
+            dropped: false,
+        });
+        self.trace.push_duplicate(orig.from, id, copy);
+        // The copy could become overdue before the cached fairness
+        // bound; pull the bound in, exactly as a fresh send does.
+        self.next_forced_at = self.next_forced_at.min(
+            self.event
+                .saturating_add(self.fairness.max_defer_events)
+                .saturating_add(1),
+        );
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_reorder(&mut self, id: MsgId) -> Result<(), SimError> {
+        let Some(meta) = self.store.lookup(id).copied() else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        let moved = self.store.move_to_back(id);
+        debug_assert!(moved, "lookup succeeded, so the move must too");
+        // Per-destination lists are no longer sorted by send event; the
+        // fairness envelope switches to its full-scan path for the rest
+        // of the run.
+        self.reordered = true;
+        self.trace.push_reorder(meta.to, id);
+        self.event += 1;
+        Ok(())
+    }
+
+    /// The online lateness classifier for this run: per-delivery
+    /// on-time/late verdicts against the timing constant `K`.
+    pub fn lateness(&self) -> &LatenessMonitor {
+        &self.monitor
     }
 
     /// Revives a crashed processor with a replacement automaton — the
@@ -899,7 +1157,16 @@ mod tests {
                     .map(|q| Send::new(q, 1))
                     .collect();
             }
-            delivered.iter().map(|d| Send::new(d.from, 1)).collect()
+            // One reply per distinct sender: a batch may deliver several
+            // messages from one processor (duplicates, backlog after a
+            // heal), and the model forbids two sends to one destination
+            // in a single step.
+            let mut seen = vec![false; self.n];
+            delivered
+                .iter()
+                .filter(|d| !std::mem::replace(&mut seen[d.from.index()], true))
+                .map(|d| Send::new(d.from, 1))
+                .collect()
         }
 
         fn status(&self) -> Status {
@@ -1108,6 +1375,246 @@ mod tests {
             .trace()
             .events()
             .any(|e| matches!(e, crate::EventView::Revive { p } if p == p1)));
+    }
+
+    #[test]
+    fn partitioned_run_heals_and_still_decides() {
+        /// Splits {p0} | {p1} until event 30, then lets the run proceed
+        /// delivering whatever the network allows.
+        struct Partitioner(bool);
+        impl Adversary for Partitioner {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                if !self.0 {
+                    self.0 = true;
+                    return Action::Partition {
+                        groups: vec![0, 1],
+                        heal_at: 30,
+                    };
+                }
+                for p in ProcessorId::all(view.population()) {
+                    let deliver: Vec<MsgId> = view
+                        .pending(p)
+                        .iter()
+                        .filter(|m| !view.is_blocked(m.from, p))
+                        .map(|m| m.id)
+                        .collect();
+                    if !deliver.is_empty() {
+                        return Action::Step { p, deliver };
+                    }
+                }
+                Action::Step {
+                    p: ProcessorId::new(0),
+                    deliver: vec![],
+                }
+            }
+        }
+        let mut s = sim(2, 1);
+        let report = s
+            .run(&mut Partitioner(false), RunLimits::with_max_events(10_000))
+            .unwrap();
+        assert!(report.all_nonfaulty_decided());
+        assert!(report.agreement_holds());
+        assert!(s
+            .trace()
+            .events()
+            .any(|e| matches!(e, crate::EventView::Partition { heal_at: 30, .. })));
+    }
+
+    #[test]
+    fn delivering_across_a_partition_is_rejected() {
+        struct BlockedDeliver(u32);
+        impl Adversary for BlockedDeliver {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                self.0 += 1;
+                match self.0 {
+                    // Coordinator broadcasts, then the network splits
+                    // {p0} | {p1, p2} and p1 is stepped with the blocked
+                    // broadcast anyway.
+                    1 => Action::Step {
+                        p: ProcessorId::new(0),
+                        deliver: vec![],
+                    },
+                    2 => Action::Partition {
+                        groups: vec![0, 1, 1],
+                        heal_at: 1_000,
+                    },
+                    _ => {
+                        let p = ProcessorId::new(1);
+                        let deliver = view.pending(p).iter().map(|m| m.id).collect();
+                        Action::Step { p, deliver }
+                    }
+                }
+            }
+            fn admissible(&self) -> bool {
+                false
+            }
+        }
+        let mut s = sim(3, 2);
+        let err = s
+            .run(&mut BlockedDeliver(0), RunLimits::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::DeliverPartitioned { .. }));
+    }
+
+    #[test]
+    fn admissible_partitions_cannot_outlive_the_fairness_window() {
+        struct LongPartition;
+        impl Adversary for LongPartition {
+            fn next(&mut self, _: &PatternView<'_>) -> Action {
+                Action::Partition {
+                    groups: vec![0, 1],
+                    heal_at: u64::MAX,
+                }
+            }
+        }
+        let mut s = sim(2, 1);
+        let err = s.run(&mut LongPartition, RunLimits::default()).unwrap_err();
+        assert!(matches!(err, SimError::PartitionTooLong { .. }));
+    }
+
+    #[test]
+    fn duplicated_messages_are_delivered_twice() {
+        struct Duper(u32);
+        impl Adversary for Duper {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                self.0 += 1;
+                match self.0 {
+                    1 => Action::Step {
+                        p: ProcessorId::new(0),
+                        deliver: vec![],
+                    },
+                    2 => Action::Duplicate {
+                        id: view.pending(ProcessorId::new(1))[0].id,
+                    },
+                    _ => {
+                        // Deliver one message at a time to whoever has
+                        // something pending (Echo replies per delivery,
+                        // so batching would fan out twice to one
+                        // destination).
+                        for p in ProcessorId::all(view.population()) {
+                            let pend = view.pending(p);
+                            if !pend.is_empty() {
+                                return Action::Step {
+                                    p,
+                                    deliver: vec![pend[0].id],
+                                };
+                            }
+                        }
+                        Action::Step {
+                            p: ProcessorId::new(0),
+                            deliver: vec![],
+                        }
+                    }
+                }
+            }
+        }
+        let mut s = sim(2, 2);
+        let report = s
+            .run(&mut Duper(0), RunLimits::with_max_events(500))
+            .unwrap();
+        // p1 needed two receipts and the coordinator broadcast only one
+        // message: only the duplicated copy can account for the second.
+        assert!(report.statuses()[1].is_decided());
+        let dup = s.trace().events().find_map(|e| match e {
+            crate::EventView::Duplicate { original, copy, .. } => Some((original, copy)),
+            _ => None,
+        });
+        let (original, copy) = dup.expect("duplicate event recorded");
+        let msgs = s.trace().messages();
+        assert_eq!(msgs[original.index()].from, msgs[copy.index()].from);
+        assert_eq!(msgs[original.index()].to, msgs[copy.index()].to);
+        assert!(msgs[copy.index()].delivered());
+    }
+
+    #[test]
+    fn reorder_moves_a_message_behind_its_queue_mates() {
+        #[derive(Default)]
+        struct Reorderer {
+            calls: u32,
+            observed: Vec<Vec<MsgId>>,
+        }
+        impl Adversary for Reorderer {
+            fn next(&mut self, view: &PatternView<'_>) -> Action {
+                self.calls += 1;
+                let p1 = ProcessorId::new(1);
+                match self.calls {
+                    // Two coordinator broadcasts queue two messages at
+                    // each peer; then the head of p1's queue is sent to
+                    // the back.
+                    1 | 2 => Action::Step {
+                        p: ProcessorId::new(0),
+                        deliver: vec![],
+                    },
+                    3 => {
+                        let pend: Vec<MsgId> = view.pending(p1).iter().map(|m| m.id).collect();
+                        self.observed.push(pend.clone());
+                        Action::Reorder { id: pend[0] }
+                    }
+                    4 => {
+                        let pend: Vec<MsgId> = view.pending(p1).iter().map(|m| m.id).collect();
+                        self.observed.push(pend);
+                        Action::Step {
+                            p: p1,
+                            deliver: vec![],
+                        }
+                    }
+                    _ => {
+                        for p in ProcessorId::all(view.population()) {
+                            let pend = view.pending(p);
+                            if !pend.is_empty() {
+                                return Action::Step {
+                                    p,
+                                    deliver: vec![pend[0].id],
+                                };
+                            }
+                        }
+                        Action::Step {
+                            p: ProcessorId::new(0),
+                            deliver: vec![],
+                        }
+                    }
+                }
+            }
+        }
+        let mut s = sim(3, 2);
+        let mut adv = Reorderer::default();
+        let report = s.run(&mut adv, RunLimits::with_max_events(2_000)).unwrap();
+        assert!(report.all_nonfaulty_decided());
+        let before = &adv.observed[0];
+        let after = &adv.observed[1];
+        assert_eq!(before.len(), 2);
+        assert_eq!(after.as_slice(), &[before[1], before[0]]);
+        assert!(s
+            .trace()
+            .events()
+            .any(|e| matches!(e, crate::EventView::Reorder { .. })));
+    }
+
+    #[test]
+    fn online_lateness_matches_the_posthoc_trace_analysis() {
+        let mut any_late = false;
+        for seed in 0..10u64 {
+            let mut s = sim(3, 4);
+            let mut adv = crate::adversaries::RandomAdversary::new(seed).deliver_prob(0.3);
+            let _ = s.run(&mut adv, RunLimits::with_max_events(2_000)).unwrap();
+            let k = s.timing().k();
+            let posthoc: Vec<MsgId> = s
+                .trace()
+                .messages()
+                .iter()
+                .filter(|m| s.trace().is_late(m, k))
+                .map(|m| m.id)
+                .collect();
+            let mut online = s.lateness().late_ids().to_vec();
+            online.sort_unstable_by_key(|id| id.index());
+            assert_eq!(online, posthoc, "seed {seed}");
+            let mut marked = s.trace().late_marks().to_vec();
+            marked.sort_unstable_by_key(|id| id.index());
+            assert_eq!(marked, posthoc, "seed {seed}");
+            assert_eq!(s.lateness().on_time(), posthoc.is_empty(), "seed {seed}");
+            any_late |= !posthoc.is_empty();
+        }
+        assert!(any_late, "sparse schedules should produce late deliveries");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Online lateness classification (paper, Section 2).
+//!
+//! The paper's "almost asynchronous" model calls a message *late* when
+//! some processor takes more than `K` steps between the sending and the
+//! receiving event. [`Trace::is_late`](crate::Trace::is_late) computes
+//! this post-hoc by binary-searching the per-processor step lists; the
+//! [`LatenessMonitor`] classifies each delivery *as it happens*, in
+//! O(n) per delivered message and O(1) per step, so drivers can report
+//! per-run on-time-ness without a trace replay.
+//!
+//! The trick: a processor `p` has taken more than `K` steps in the
+//! half-open event interval `(send, recv]` exactly when, at the moment
+//! of delivery, `p`'s `(K+1)`-th most recent step happened strictly
+//! after `send`. The monitor keeps a ring of each processor's last
+//! `K+1` step events and exposes the evicted-next entry (the ring's
+//! oldest) in a flat array, so classifying a delivery is one sweep of
+//! `n` integer comparisons.
+
+use crate::envelope::MsgId;
+
+/// Sentinel in `kth` for "fewer than K+1 steps taken so far" — a
+/// processor that has not yet taken K+1 steps in total cannot have
+/// taken more than K in any interval. Zero is safe: `0 > send_event`
+/// never holds.
+const NOT_FULL: u64 = 0;
+
+/// Classifies every delivery as on-time or late against `K`, online.
+#[derive(Clone, Debug)]
+pub struct LatenessMonitor {
+    k: u64,
+    /// Ring capacity `K + 1`.
+    cap: usize,
+    /// Flat `n × cap` circular buffers of step-event indices.
+    hist: Vec<u64>,
+    /// Per-processor count of steps taken.
+    counts: Vec<u64>,
+    /// Per-processor event index of its `(K+1)`-th most recent step
+    /// ([`NOT_FULL`] until the processor has taken `K+1` steps).
+    kth: Vec<u64>,
+    delivered: u64,
+    late_ids: Vec<MsgId>,
+}
+
+impl LatenessMonitor {
+    /// A monitor for `n` processors at lateness threshold `k`.
+    pub fn new(n: usize, k: u64) -> LatenessMonitor {
+        let cap = (k + 1) as usize;
+        LatenessMonitor {
+            k,
+            cap,
+            hist: vec![0; n * cap],
+            counts: vec![0; n],
+            kth: vec![NOT_FULL; n],
+            delivered: 0,
+            late_ids: Vec::new(),
+        }
+    }
+
+    /// Notes that processor `i` stepped at global event `event`. Must be
+    /// called before classifying the deliveries of that step (the
+    /// receiving step itself counts toward the interval).
+    pub(crate) fn note_step(&mut self, i: usize, event: u64) {
+        let base = i * self.cap;
+        let slot = (self.counts[i] as usize) % self.cap;
+        self.hist[base + slot] = event;
+        self.counts[i] += 1;
+        if self.counts[i] >= self.cap as u64 {
+            self.kth[i] = self.hist[base + (self.counts[i] as usize) % self.cap];
+        }
+    }
+
+    /// Classifies the delivery of `id` (sent at `send_event`) at the
+    /// current step; returns whether it was late.
+    pub(crate) fn classify_delivery(&mut self, id: MsgId, send_event: u64) -> bool {
+        self.delivered += 1;
+        let late = self.kth.iter().any(|&kth| kth > send_event);
+        if late {
+            self.late_ids.push(id);
+        }
+        late
+    }
+
+    /// The lateness threshold `K` this monitor classifies against.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Total deliveries classified so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of deliveries classified late.
+    pub fn late_count(&self) -> u64 {
+        self.late_ids.len() as u64
+    }
+
+    /// Ids of the late deliveries, in delivery order.
+    pub fn late_ids(&self) -> &[MsgId] {
+        &self.late_ids
+    }
+
+    /// Whether every delivery so far was on-time — the paper's
+    /// Section 2 dichotomy hinges on this bit: on-time runs must decide
+    /// within the expected stage bound, late runs may stall but must
+    /// still never violate safety.
+    pub fn on_time(&self) -> bool {
+        self.late_ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_within_k_steps_is_on_time() {
+        // K = 2, two processors. p0 sends at event 0; p1 receives at
+        // event 2 after p0 took one more step: nobody exceeded 2 steps.
+        let mut m = LatenessMonitor::new(2, 2);
+        m.note_step(0, 0); // send step
+        m.note_step(0, 1);
+        m.note_step(1, 2); // receiving step
+        assert!(!m.classify_delivery(MsgId(0), 0));
+        assert!(m.on_time());
+        assert_eq!(m.delivered(), 1);
+        assert_eq!(m.late_count(), 0);
+    }
+
+    #[test]
+    fn sender_racing_ahead_marks_the_delivery_late() {
+        // K = 2. p0 sends at event 0 then steps 3 more times before p1
+        // receives: p0 took 3 > K steps in (0, recv].
+        let mut m = LatenessMonitor::new(2, 2);
+        m.note_step(0, 0);
+        m.note_step(0, 1);
+        m.note_step(0, 2);
+        m.note_step(0, 3);
+        m.note_step(1, 4);
+        assert!(m.classify_delivery(MsgId(0), 0));
+        assert!(!m.on_time());
+        assert_eq!(m.late_ids(), &[MsgId(0)]);
+    }
+
+    #[test]
+    fn boundary_is_exclusive_at_exactly_k_steps() {
+        // K = 2: exactly 2 intervening steps is still on-time; the step
+        // at the send event itself does not count.
+        let mut m = LatenessMonitor::new(1, 2);
+        m.note_step(0, 0);
+        m.note_step(0, 1);
+        m.note_step(0, 2);
+        assert!(!m.classify_delivery(MsgId(0), 0));
+        m.note_step(0, 3);
+        assert!(m.classify_delivery(MsgId(1), 0));
+    }
+
+    #[test]
+    fn young_processors_never_trip_the_monitor() {
+        let mut m = LatenessMonitor::new(3, 4);
+        m.note_step(0, 0);
+        m.note_step(1, 1);
+        assert!(!m.classify_delivery(MsgId(0), 0));
+        assert!(m.on_time());
+    }
+}

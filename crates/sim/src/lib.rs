@@ -57,6 +57,7 @@ pub mod adversaries;
 mod adversary;
 mod engine;
 mod envelope;
+mod lateness;
 mod metrics;
 mod pattern;
 mod replay;
@@ -67,6 +68,7 @@ mod trace;
 pub use adversary::{Action, Adversary, ContentAdversary, ContentView, MsgHandle, PatternView};
 pub use engine::{FairnessParams, RunLimits, RunReport, Sim, SimBuilder, SimError, StopWhen};
 pub use envelope::MsgId;
+pub use lateness::LatenessMonitor;
 pub use metrics::{LatenessReport, RunMetrics};
 pub use pattern::{MessagePattern, PatternTriple};
 pub use replay::{Recorder, Replayer};

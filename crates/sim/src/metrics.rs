@@ -37,6 +37,10 @@ pub struct RunMetrics {
     pub worst_nonfaulty_decision_clock: Option<u64>,
     /// Lateness analysis at the run's `K`.
     pub lateness: LatenessReport,
+    /// Whether every delivery was on-time (Section 2's dichotomy bit).
+    pub on_time: bool,
+    /// Number of deliveries classified late against `K`.
+    pub late_messages: usize,
 }
 
 impl RunMetrics {
@@ -64,6 +68,7 @@ impl RunMetrics {
                 _ => worst = None,
             }
         }
+        let late_messages = late.len();
         RunMetrics {
             messages_sent: trace.messages().len(),
             messages_delivered: trace.messages().iter().filter(|m| m.delivered()).count(),
@@ -71,6 +76,8 @@ impl RunMetrics {
             events: trace.event_count() as u64,
             decision_clocks,
             worst_nonfaulty_decision_clock: worst,
+            on_time: late_messages == 0,
+            late_messages,
             lateness: LatenessReport { late },
         }
     }

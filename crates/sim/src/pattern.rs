@@ -57,6 +57,29 @@ impl MessagePattern {
                     received_from_events: Vec::new(),
                     sent_to: Vec::new(),
                 },
+                // A partition or reorder is pure network scheduling: it
+                // moves no messages, so its triple is empty.
+                EventView::Partition { .. } => PatternTriple {
+                    p: ProcessorId::COORDINATOR,
+                    failure: false,
+                    received_from_events: Vec::new(),
+                    sent_to: Vec::new(),
+                },
+                EventView::Reorder { p, .. } => PatternTriple {
+                    p,
+                    failure: false,
+                    received_from_events: Vec::new(),
+                    sent_to: Vec::new(),
+                },
+                // A duplication re-sends an existing message on behalf
+                // of its original sender; attributing the copy's send to
+                // this event keeps receive-side well-formedness intact.
+                EventView::Duplicate { p, copy, .. } => PatternTriple {
+                    p,
+                    failure: false,
+                    received_from_events: Vec::new(),
+                    sent_to: vec![msgs[copy.index()].to],
+                },
                 EventView::Step {
                     p, delivered, sent, ..
                 } => {

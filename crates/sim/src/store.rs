@@ -162,6 +162,24 @@ impl MsgStore {
         }
     }
 
+    /// Moves `id` to the tail of its destination's pending list — the
+    /// store-level realization of a network *reorder* fault. O(1):
+    /// unlink in place, relink at the tail. Returns `false` when `id`
+    /// is no longer buffered. Note that after a move the list is no
+    /// longer sorted by send event, so callers relying on that
+    /// invariant (the fairness fast path) must switch to full scans.
+    pub(crate) fn move_to_back(&mut self, id: MsgId) -> bool {
+        let Some((slot, meta)) = self.remove(id) else {
+            return false;
+        };
+        // `remove` pushed the slot onto the free list and `insert` pops
+        // LIFO, so the message lands back in the very slot it occupied
+        // and slot-parallel payloads stay valid.
+        let reused = self.insert(meta);
+        debug_assert_eq!(reused, slot, "reorder must recycle the same slot");
+        true
+    }
+
     /// The slot currently holding `id`, if it is still buffered. Lets
     /// content views resolve payloads in O(1) without touching the
     /// payload slab itself.
@@ -302,6 +320,31 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!(s.remove_for(MsgId(0), 1).is_some());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn move_to_back_reorders_within_one_destination() {
+        let mut s = MsgStore::new(2);
+        for id in 0..4 {
+            s.insert(meta(id, 0, id));
+        }
+        s.insert(meta(4, 1, 4));
+        let slot_before = s.slot_index(MsgId(1)).unwrap();
+        assert!(s.move_to_back(MsgId(1)));
+        assert_eq!(ids_of(&s, 0), [0, 2, 3, 1]);
+        // Slot-parallel payloads stay valid: same slot after the move.
+        assert_eq!(s.slot_index(MsgId(1)), Some(slot_before));
+        // Other destinations are untouched.
+        assert_eq!(ids_of(&s, 1), [4]);
+        // Moving the tail (or a singleton) is a no-op.
+        assert!(s.move_to_back(MsgId(1)));
+        assert_eq!(ids_of(&s, 0), [0, 2, 3, 1]);
+        assert!(s.move_to_back(MsgId(4)));
+        assert_eq!(ids_of(&s, 1), [4]);
+        // A delivered message can no longer be reordered.
+        s.remove(MsgId(0)).unwrap();
+        assert!(!s.move_to_back(MsgId(0)));
+        assert_eq!(s.len(), 4);
     }
 
     #[test]

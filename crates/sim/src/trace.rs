@@ -68,15 +68,44 @@ pub enum EventRecord {
         /// The revived processor.
         p: ProcessorId,
     },
+    /// The network was partitioned into groups until event `heal_at`.
+    Partition {
+        /// Group id per processor.
+        groups: Vec<u32>,
+        /// Global event index at which the partition heals.
+        heal_at: u64,
+    },
+    /// A buffered message was duplicated by the network.
+    Duplicate {
+        /// The nominal sender (the original message's sender).
+        p: ProcessorId,
+        /// The message that was duplicated.
+        original: MsgId,
+        /// The fresh id assigned to the copy.
+        copy: MsgId,
+    },
+    /// A buffered message was moved to the back of its destination's
+    /// pending list by the network.
+    Reorder {
+        /// The destination whose buffer was perturbed.
+        p: ProcessorId,
+        /// The message that was moved.
+        id: MsgId,
+    },
 }
 
 impl EventRecord {
-    /// The processor involved in this event.
+    /// The processor involved in this event. Network-level events
+    /// (partitions) have no acting processor and report the
+    /// coordinator by convention.
     pub fn processor(&self) -> ProcessorId {
         match self {
-            EventRecord::Step { p, .. } | EventRecord::Crash { p } | EventRecord::Revive { p } => {
-                *p
-            }
+            EventRecord::Step { p, .. }
+            | EventRecord::Crash { p }
+            | EventRecord::Revive { p }
+            | EventRecord::Duplicate { p, .. }
+            | EventRecord::Reorder { p, .. } => *p,
+            EventRecord::Partition { .. } => ProcessorId::COORDINATOR,
         }
     }
 }
@@ -111,13 +140,44 @@ pub enum EventView<'a> {
         /// The revived processor.
         p: ProcessorId,
     },
+    /// The network was partitioned into groups until event `heal_at`.
+    Partition {
+        /// Group id per processor.
+        groups: &'a [u32],
+        /// Global event index at which the partition heals.
+        heal_at: u64,
+    },
+    /// A buffered message was duplicated by the network.
+    Duplicate {
+        /// The nominal sender (the original message's sender).
+        p: ProcessorId,
+        /// The message that was duplicated.
+        original: MsgId,
+        /// The fresh id assigned to the copy.
+        copy: MsgId,
+    },
+    /// A buffered message was moved to the back of its destination's
+    /// pending list by the network.
+    Reorder {
+        /// The destination whose buffer was perturbed.
+        p: ProcessorId,
+        /// The message that was moved.
+        id: MsgId,
+    },
 }
 
 impl EventView<'_> {
-    /// The processor involved in this event.
+    /// The processor involved in this event. Network-level events
+    /// (partitions) have no acting processor and report the
+    /// coordinator by convention.
     pub fn processor(&self) -> ProcessorId {
         match self {
-            EventView::Step { p, .. } | EventView::Crash { p } | EventView::Revive { p } => *p,
+            EventView::Step { p, .. }
+            | EventView::Crash { p }
+            | EventView::Revive { p }
+            | EventView::Duplicate { p, .. }
+            | EventView::Reorder { p, .. } => *p,
+            EventView::Partition { .. } => ProcessorId::COORDINATOR,
         }
     }
 
@@ -137,6 +197,14 @@ impl EventView<'_> {
             },
             EventView::Crash { p } => EventRecord::Crash { p },
             EventView::Revive { p } => EventRecord::Revive { p },
+            EventView::Partition { groups, heal_at } => EventRecord::Partition {
+                groups: groups.to_vec(),
+                heal_at,
+            },
+            EventView::Duplicate { p, original, copy } => {
+                EventRecord::Duplicate { p, original, copy }
+            }
+            EventView::Reorder { p, id } => EventRecord::Reorder { p, id },
         }
     }
 }
@@ -155,10 +223,15 @@ pub struct DecisionRecord {
 }
 
 /// Event-kind tags in the column-wise trace. These values are also the
-/// digest tags, so they must never change.
+/// digest tags, so they must never change; new kinds are only ever
+/// appended (runs that use none of the newer kinds keep byte-identical
+/// digests across engine revisions).
 const KIND_STEP: u8 = 0;
 const KIND_CRASH: u8 = 1;
 const KIND_REVIVE: u8 = 2;
+const KIND_PARTITION: u8 = 3;
+const KIND_DUPLICATE: u8 = 4;
+const KIND_REORDER: u8 = 5;
 
 /// A full record of one run: events, messages, crashes, decisions.
 ///
@@ -185,6 +258,14 @@ pub struct Trace {
     /// Per-processor list of global event indices at which it stepped,
     /// for O(log) "steps between events" queries.
     step_events: Vec<Vec<u64>>,
+    /// Side table of partition events: for a `KIND_PARTITION` event the
+    /// `ev_clock` column holds an index into this table.
+    partitions: Vec<(Vec<u32>, u64)>,
+    /// Messages the engine's lateness monitor classified as late at
+    /// delivery time, in delivery order. A side annotation: not part of
+    /// the digest (lateness is derived data — `Trace::is_late`
+    /// recomputes it — and legacy digests must stay stable).
+    late_marks: Vec<MsgId>,
 }
 
 impl Trace {
@@ -201,6 +282,8 @@ impl Trace {
             crashed: Vec::new(),
             decisions: Vec::new(),
             step_events: vec![Vec::new(); n],
+            partitions: Vec::new(),
+            late_marks: Vec::new(),
         }
     }
 
@@ -235,6 +318,36 @@ impl Trace {
         self.push_messageless(KIND_REVIVE, p);
     }
 
+    /// Records a partition event: group assignment plus heal event.
+    pub(crate) fn push_partition(&mut self, groups: &[u32], heal_at: u64) {
+        let table_idx = self.partitions.len() as u64;
+        self.partitions.push((groups.to_vec(), heal_at));
+        self.ev_kind.push(KIND_PARTITION);
+        self.ev_p.push(0);
+        self.ev_clock.push(table_idx);
+        self.ev_deliv_end.push(self.deliv_pool.len() as u32);
+        self.ev_sent_end.push(self.sent_pool.len() as u32);
+    }
+
+    /// Records a duplication event: `original` was copied as `copy`.
+    pub(crate) fn push_duplicate(&mut self, from: ProcessorId, original: MsgId, copy: MsgId) {
+        self.sent_pool.push(copy);
+        self.ev_kind.push(KIND_DUPLICATE);
+        self.ev_p.push(from.index() as u32);
+        self.ev_clock.push(original.index() as u64);
+        self.ev_deliv_end.push(self.deliv_pool.len() as u32);
+        self.ev_sent_end.push(self.sent_pool.len() as u32);
+    }
+
+    /// Records a reorder event: `id` moved to the back of `dest`'s list.
+    pub(crate) fn push_reorder(&mut self, dest: ProcessorId, id: MsgId) {
+        self.ev_kind.push(KIND_REORDER);
+        self.ev_p.push(dest.index() as u32);
+        self.ev_clock.push(id.index() as u64);
+        self.ev_deliv_end.push(self.deliv_pool.len() as u32);
+        self.ev_sent_end.push(self.sent_pool.len() as u32);
+    }
+
     fn push_messageless(&mut self, kind: u8, p: ProcessorId) {
         self.ev_kind.push(kind);
         self.ev_p.push(p.index() as u32);
@@ -257,6 +370,9 @@ impl Trace {
             } => self.push_step(p, clock_after, &delivered, &sent),
             EventRecord::Crash { p } => self.push_crash(p),
             EventRecord::Revive { p } => self.push_revive(p),
+            EventRecord::Partition { groups, heal_at } => self.push_partition(&groups, heal_at),
+            EventRecord::Duplicate { p, original, copy } => self.push_duplicate(p, original, copy),
+            EventRecord::Reorder { p, id } => self.push_reorder(p, id),
         }
     }
 
@@ -273,6 +389,10 @@ impl Trace {
 
     pub(crate) fn note_drop(&mut self, id: MsgId) {
         self.msgs[id.index()].dropped = true;
+    }
+
+    pub(crate) fn mark_late(&mut self, id: MsgId) {
+        self.late_marks.push(id);
     }
 
     pub(crate) fn push_decision(&mut self, d: DecisionRecord) {
@@ -314,6 +434,22 @@ impl Trace {
                 sent: &self.sent_pool[self.sent_range(idx)],
             },
             KIND_CRASH => EventView::Crash { p },
+            KIND_PARTITION => {
+                let (groups, heal_at) = &self.partitions[self.ev_clock[idx] as usize];
+                EventView::Partition {
+                    groups,
+                    heal_at: *heal_at,
+                }
+            }
+            KIND_DUPLICATE => EventView::Duplicate {
+                p,
+                original: MsgId(self.ev_clock[idx]),
+                copy: self.sent_pool[self.sent_range(idx)][0],
+            },
+            KIND_REORDER => EventView::Reorder {
+                p,
+                id: MsgId(self.ev_clock[idx]),
+            },
             _ => EventView::Revive { p },
         }
     }
@@ -341,6 +477,14 @@ impl Trace {
     /// Decisions in the order they occurred.
     pub fn decisions(&self) -> &[DecisionRecord] {
         &self.decisions
+    }
+
+    /// Messages the engine's [`crate::LatenessMonitor`] flagged as late
+    /// at delivery time, in delivery order. Matches the post-hoc
+    /// [`Trace::is_late`] classification at the run's `K`; recorded in
+    /// the trace so drivers can report lateness without replaying it.
+    pub fn late_marks(&self) -> &[MsgId] {
+        &self.late_marks
     }
 
     /// The decision record of processor `p`, if it decided.
@@ -395,18 +539,43 @@ impl Trace {
             let kind = self.ev_kind[idx];
             h.write_u8(kind);
             h.write_u64(u64::from(self.ev_p[idx]));
-            if kind == KIND_STEP {
-                h.write_u64(self.ev_clock[idx]);
-                let delivered = &self.deliv_pool[self.deliv_range(idx)];
-                h.write_u64(delivered.len() as u64);
-                for id in delivered {
-                    h.write_u64(id.index() as u64);
+            match kind {
+                KIND_STEP => {
+                    h.write_u64(self.ev_clock[idx]);
+                    let delivered = &self.deliv_pool[self.deliv_range(idx)];
+                    h.write_u64(delivered.len() as u64);
+                    for id in delivered {
+                        h.write_u64(id.index() as u64);
+                    }
+                    let sent = &self.sent_pool[self.sent_range(idx)];
+                    h.write_u64(sent.len() as u64);
+                    for id in sent {
+                        h.write_u64(id.index() as u64);
+                    }
                 }
-                let sent = &self.sent_pool[self.sent_range(idx)];
-                h.write_u64(sent.len() as u64);
-                for id in sent {
-                    h.write_u64(id.index() as u64);
+                // Runs that use no hostile-network actions contain only
+                // kinds 0..=2, so the byte sequence — and therefore every
+                // legacy golden digest — is unchanged by these arms.
+                KIND_PARTITION => {
+                    let (groups, heal_at) = &self.partitions[self.ev_clock[idx] as usize];
+                    h.write_u64(*heal_at);
+                    h.write_u64(groups.len() as u64);
+                    for g in groups {
+                        h.write_u64(u64::from(*g));
+                    }
                 }
+                KIND_DUPLICATE => {
+                    h.write_u64(self.ev_clock[idx]);
+                    let sent = &self.sent_pool[self.sent_range(idx)];
+                    h.write_u64(sent.len() as u64);
+                    for id in sent {
+                        h.write_u64(id.index() as u64);
+                    }
+                }
+                KIND_REORDER => {
+                    h.write_u64(self.ev_clock[idx]);
+                }
+                _ => {}
             }
         }
         h.write_u64(self.msgs.len() as u64);
@@ -643,6 +812,19 @@ mod tests {
                 delivered: vec![MsgId(0)],
                 sent: vec![MsgId(2)],
             },
+            EventRecord::Partition {
+                groups: vec![0, 1, 0],
+                heal_at: 40,
+            },
+            EventRecord::Duplicate {
+                p: ProcessorId::new(0),
+                original: MsgId(2),
+                copy: MsgId(3),
+            },
+            EventRecord::Reorder {
+                p: ProcessorId::new(1),
+                id: MsgId(3),
+            },
         ];
         for r in &records {
             t.push_event(r.clone());
@@ -658,6 +840,34 @@ mod tests {
         let back: Vec<EventRecord> = t.events().rev().map(|v| v.to_record()).collect();
         assert_eq!(back.len(), records.len());
         assert_eq!(&back[0], &records[records.len() - 1]);
+    }
+
+    #[test]
+    fn hostile_network_events_are_digest_sensitive_but_legacy_digests_stable() {
+        let mut base = Trace::new(2);
+        base.push_event(step(0, 1));
+        base.push_event(step(1, 1));
+        let legacy = base.digest();
+        // Appending any of the new kinds changes the digest...
+        let mut with_part = base.clone();
+        with_part.push_partition(&[0, 1], 10);
+        assert_ne!(legacy, with_part.digest());
+        // ...and the digest distinguishes their content.
+        let mut other_part = base.clone();
+        other_part.push_partition(&[0, 1], 11);
+        assert_ne!(with_part.digest(), other_part.digest());
+        let mut dup = base.clone();
+        base.push_msg(msg(0, 0, 1, 0));
+        dup.push_msg(msg(0, 0, 1, 0));
+        dup.push_duplicate(ProcessorId::new(0), MsgId(0), MsgId(1));
+        let mut reord = base.clone();
+        reord.push_reorder(ProcessorId::new(1), MsgId(0));
+        assert_ne!(dup.digest(), reord.digest());
+        // Lateness marks are annotations, not digested content.
+        let mut marked = base.clone();
+        marked.mark_late(MsgId(0));
+        assert_eq!(base.digest(), marked.digest());
+        assert_eq!(marked.late_marks(), &[MsgId(0)]);
     }
 
     #[test]

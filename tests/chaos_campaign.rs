@@ -1,15 +1,19 @@
-//! The acceptance gate for the crash-recovery subsystem: a seeded
+//! The acceptance gate for the fault-injection subsystem: a seeded
 //! chaos campaign of 200+ randomized fault schedules — crashes,
-//! restarts (snapshot and amnesiac), delay spikes, link flaps — each
-//! executed on **both** substrates (discrete-event simulator and
-//! threaded runtime), with zero tolerated safety violations; plus the
-//! flagship Theorem 11 scenario: crash `t + 1` processors, observe a
-//! graceful stall with no wrong answer, restart them, observe
-//! termination.
+//! restarts (snapshot and amnesiac), delay spikes, link flaps, healing
+//! partitions, message duplication, and reordering — each executed on
+//! **both** substrates (discrete-event simulator and threaded
+//! runtime), with zero tolerated safety violations; plus the flagship
+//! Theorem 11 scenario: crash `t + 1` processors, observe a graceful
+//! stall with no wrong answer, restart them, observe termination.
 
 use std::time::Duration;
 
-use rtc::chaos::{run_campaign, run_theorem11, CampaignConfig, ChaosOutcome, ChaosSchedule};
+use rtc::chaos::{
+    run_campaign, run_on_runtime, run_on_sim, run_theorem11, CampaignConfig, ChaosOutcome,
+    ChaosPartition, ChaosSchedule, ScheduleParams,
+};
+use rtc::model::ProcessorId;
 use rtc::prelude::ClusterOptions;
 
 fn campaign_cluster() -> ClusterOptions {
@@ -39,6 +43,38 @@ fn campaign_of_200_schedules_is_safe_on_the_simulator() {
     );
 }
 
+/// The 200-schedule campaign above is only a hostile-network gate if
+/// the generator actually emits the whole fault vocabulary. Pin that:
+/// across the same seed and index range, every fault kind — crashes,
+/// restarts, delay spikes, link flaps, partitions, duplication, and
+/// reordering — must appear at least once.
+#[test]
+fn the_campaign_mixes_every_fault_kind() {
+    let cfg = CampaignConfig {
+        seed: 0x1986_C0A7,
+        ..CampaignConfig::default()
+    };
+    let (mut crashes, mut restarts, mut delays, mut flaps) = (false, false, false, false);
+    let (mut partitions, mut duplicates, mut reorders) = (false, false, false);
+    for i in 0..200 {
+        let s = ChaosSchedule::generate(&cfg.params, cfg.seed, i);
+        crashes |= !s.crashes.is_empty();
+        restarts |= !s.restarts.is_empty();
+        delays |= s.delay != rtc::chaos::ChaosDelay::None;
+        flaps |= !s.flaps.is_empty();
+        partitions |= !s.partitions.is_empty();
+        duplicates |= s.duplicate_permille > 0;
+        reorders |= s.reorder_permille > 0;
+    }
+    assert!(crashes, "no schedule crashed a processor");
+    assert!(restarts, "no schedule restarted a processor");
+    assert!(delays, "no schedule injected a delay spike");
+    assert!(flaps, "no schedule flapped a link");
+    assert!(partitions, "no schedule partitioned the network");
+    assert!(duplicates, "no schedule duplicated messages");
+    assert!(reorders, "no schedule reordered messages");
+}
+
 /// The same generator pointed at the threaded runtime: every schedule
 /// runs over real threads, channels, and wall-clock restarts. Kept to
 /// a smaller count per test run because each run costs real time; the
@@ -57,6 +93,94 @@ fn campaign_is_safe_on_the_threaded_runtime() {
     let summary = run_campaign(&cfg);
     assert!(summary.ok(), "violations: {:#?}", summary.violations);
     assert_eq!(summary.runs(), 80, "both substrates ran every schedule");
+}
+
+/// The supervised campaign mode: the same schedules run a third time
+/// with scripted restarts stripped and the self-healing supervisor
+/// restarting crashed nodes reactively. Safety must hold, and because
+/// the supervisor restarts every victim (backoff-paced, from
+/// snapshot), the large majority of schedules — including the degraded
+/// crash-beyond-`t` ones the scripted run can only stall on — must
+/// decide. The floor is deliberately below the scripted-decided count:
+/// backoff pacing races the wall-clock budget, so an exact comparison
+/// would be flaky.
+#[test]
+fn supervised_campaign_is_safe_and_self_heals() {
+    let cfg = CampaignConfig {
+        schedules: 25,
+        seed: 0x5E1F_4EA1,
+        run_sim: false,
+        run_runtime: true,
+        run_supervised: true,
+        cluster: campaign_cluster(),
+        ..CampaignConfig::default()
+    };
+    let summary = run_campaign(&cfg);
+    assert!(summary.ok(), "violations: {:#?}", summary.violations);
+    assert_eq!(
+        summary.runs(),
+        50,
+        "runtime + supervised ran every schedule"
+    );
+    assert!(
+        summary.supervised_decided >= 20,
+        "the supervisor must self-heal the large majority of schedules: {summary}"
+    );
+}
+
+/// The CI partition-smoke gate: 100 seeded schedules, every one forced
+/// to carry a healing partition plus message duplication and
+/// reordering on top of whatever crashes, restarts, delays, and flaps
+/// the generator drew, each run on **both** substrates. Zero safety
+/// violations tolerated, and the lateness monitor must classify every
+/// run into the paper's Section 2 dichotomy: on-time runs decide
+/// within the bound, late runs may stall — but only gracefully.
+#[test]
+fn partition_smoke_100_hostile_schedules_on_both_substrates() {
+    let params = ScheduleParams::default();
+    let opts = campaign_cluster();
+    let (mut late_runs, mut on_time_runs) = (0u32, 0u32);
+    for i in 0..100u64 {
+        let mut s = ChaosSchedule::generate(&params, 0x9A27_5A0B, i);
+        if s.partitions.is_empty() {
+            s.partitions.push(ChaosPartition {
+                side: vec![ProcessorId::new(i as usize % s.n)],
+                from_step: 2,
+                heal_step: 8,
+            });
+        }
+        s.duplicate_permille = s.duplicate_permille.max(150);
+        s.reorder_permille = s.reorder_permille.max(150);
+
+        let sim = run_on_sim(&s, 60_000);
+        assert!(
+            !matches!(sim.outcome, ChaosOutcome::Violation(_)),
+            "sim schedule {i}: {:?}",
+            sim.outcome
+        );
+        if sim.verdict.on_time {
+            on_time_runs += 1;
+        } else {
+            late_runs += 1;
+        }
+        if sim.outcome == ChaosOutcome::StalledGracefully {
+            assert!(
+                sim.verdict.agreement.ok(),
+                "schedule {i} stalled but not gracefully"
+            );
+        }
+
+        let (rt, _) = run_on_runtime(&s, opts);
+        assert!(
+            !matches!(rt.outcome, ChaosOutcome::Violation(_)),
+            "runtime schedule {i}: {:?}",
+            rt.outcome
+        );
+    }
+    assert!(
+        late_runs > 0 && on_time_runs > 0,
+        "the on-time/late dichotomy must be exercised: {late_runs} late, {on_time_runs} on-time"
+    );
 }
 
 /// Degraded crash-beyond-t schedules (no restarts) must stall without

@@ -10,6 +10,75 @@ fn arb_votes(n: usize) -> impl Strategy<Value = Vec<rtc::model::Value>> {
     proptest::collection::vec(any::<bool>().prop_map(rtc::model::Value::from_bool), n)
 }
 
+/// Round-robin scheduler with an optional hostile-network mode: every
+/// freshly observed message is duplicated exactly once, one buffered
+/// message is shuffled to the back of the queue before each step, and
+/// delivery batches are handed to the automaton in reverse order. The
+/// per-processor step sequence is identical to the clean round-robin
+/// run, so any observable difference is a failure of ingest idempotency.
+struct HostileRoundRobin {
+    n: usize,
+    cursor: usize,
+    hostile: bool,
+    /// Whether a reorder was already issued ahead of the pending step.
+    reordered: bool,
+    /// Message ids already observed (indexed by dense `MsgId::index`).
+    seen: Vec<bool>,
+    /// Events at which a `Duplicate` was issued. The copy minted at
+    /// such an event must not be duplicated again, or the buffer
+    /// doubles without bound. Pushed in increasing event order.
+    dup_events: Vec<u64>,
+}
+
+impl HostileRoundRobin {
+    fn new(n: usize, hostile: bool) -> Self {
+        HostileRoundRobin {
+            n,
+            cursor: 0,
+            hostile,
+            reordered: false,
+            seen: Vec::new(),
+            dup_events: Vec::new(),
+        }
+    }
+}
+
+impl Adversary for HostileRoundRobin {
+    fn next(&mut self, view: &rtc::sim::PatternView<'_>) -> rtc::sim::Action {
+        use rtc::sim::Action;
+        let p = ProcessorId::new(self.cursor % self.n);
+        if self.hostile {
+            for m in view.pending_iter(p) {
+                let idx = m.id.index();
+                if idx >= self.seen.len() {
+                    self.seen.resize(idx + 1, false);
+                }
+                if !self.seen[idx] {
+                    self.seen[idx] = true;
+                    // Copies (send_event == a Duplicate event) are
+                    // marked seen but never re-duplicated.
+                    if self.dup_events.binary_search(&m.send_event).is_err() {
+                        self.dup_events.push(view.event());
+                        return Action::Duplicate { id: m.id };
+                    }
+                }
+            }
+            if !self.reordered && view.pending_count(p) >= 2 {
+                self.reordered = true;
+                let head = view.pending_iter(p).next().expect("pending_count >= 2");
+                return Action::Reorder { id: head.id };
+            }
+        }
+        self.cursor += 1;
+        self.reordered = false;
+        let mut deliver: Vec<rtc::sim::MsgId> = view.pending_iter(p).map(|m| m.id).collect();
+        if self.hostile {
+            deliver.reverse();
+        }
+        Action::Step { p, deliver }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -137,5 +206,50 @@ proptest! {
         let mut adv = RandomAdversary::new(seed ^ 0xB0).deliver_prob(0.7);
         let report = sim.run(&mut adv, RunLimits::with_max_events(3_000_000)).unwrap();
         prop_assert!(report.agreement_holds());
+    }
+
+    /// Hostile-network idempotency: duplicating every message once,
+    /// reordering buffers, and reversing delivery batches changes
+    /// nothing observable. Decisions are byte-identical to the clean
+    /// round-robin run, and the hostile schedule itself replays to the
+    /// same trace digest.
+    #[test]
+    fn duplicated_and_permuted_delivery_is_idempotent(
+        votes in (3usize..7).prop_flat_map(arb_votes),
+        seed in any::<u64>(),
+    ) {
+        let n = votes.len();
+        let cfg = CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default())
+            .unwrap();
+        let run = |hostile: bool| {
+            let procs = commit_population(cfg, &votes);
+            let mut sim = SimBuilder::new(cfg.timing(), SeedCollection::new(seed))
+                .fault_budget(cfg.fault_bound())
+                .build(procs)
+                .unwrap();
+            let mut adv = HostileRoundRobin::new(n, hostile);
+            let report = sim
+                .run(&mut adv, RunLimits::with_max_events(200_000))
+                .unwrap();
+            let verdict = verify_commit_run(&votes, &report, sim.trace(), cfg.timing());
+            let digest = sim.trace().digest();
+            (report, digest, verdict)
+        };
+        let (clean, _, _) = run(false);
+        let (hostile_a, digest_a, verdict) = run(true);
+        let (hostile_b, digest_b, _) = run(true);
+        prop_assert!(clean.all_nonfaulty_decided(), "clean run blocked");
+        prop_assert!(hostile_a.all_nonfaulty_decided(), "hostile run blocked");
+        prop_assert_eq!(
+            format!("{:?}", clean.statuses()),
+            format!("{:?}", hostile_a.statuses()),
+            "duplication/reordering changed an outcome"
+        );
+        prop_assert_eq!(
+            digest_a, digest_b,
+            "hostile schedule does not replay deterministically"
+        );
+        prop_assert!(verdict.ok(), "verdict: {verdict:?}");
+        let _ = hostile_b;
     }
 }
