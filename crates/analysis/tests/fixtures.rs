@@ -67,6 +67,13 @@ fn corpus() -> Vec<(
             include_str!("fixtures/unbounded_recv_negative.rs"),
         ),
         (
+            "socket-deadline",
+            "rtc-net",
+            "crates/net/src/fixture.rs",
+            include_str!("fixtures/socket_deadline_positive.rs"),
+            include_str!("fixtures/socket_deadline_negative.rs"),
+        ),
+        (
             "channel-send-unwrap",
             "rtc-runtime",
             "crates/runtime/src/fixture.rs",

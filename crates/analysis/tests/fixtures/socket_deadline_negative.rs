@@ -1,0 +1,20 @@
+//! Negative fixture for `socket-deadline`: the same link pump, but
+//! every blocking wait is bounded — the connect carries a deadline and
+//! the stream gets read/write timeouts before any I/O.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub fn pump_link(addr: &SocketAddr, frame: &[u8]) -> std::io::Result<Vec<u8>> {
+    let io_deadline = Duration::from_millis(25);
+    let mut stream = TcpStream::connect_timeout(addr, io_deadline)?;
+    stream.set_read_timeout(Some(io_deadline))?;
+    stream.set_write_timeout(Some(io_deadline))?;
+    stream.write_all(frame)?;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}

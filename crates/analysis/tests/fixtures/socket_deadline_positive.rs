@@ -1,0 +1,15 @@
+//! Positive fixture for `socket-deadline`: a link pump doing blocking
+//! socket I/O with no deadline configured anywhere in the function.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+pub fn pump_link(addr: &str, frame: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(frame)?;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}

@@ -243,6 +243,7 @@ fn soak_schedule(n: usize, t: usize, seed: u64) -> ChaosSchedule {
         flaps: Vec::new(),
         partitions: Vec::new(),
         duplicate_permille: 0,
+        reset_permille: 0,
         reorder_permille: 0,
     }
 }

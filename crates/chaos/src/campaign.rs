@@ -10,20 +10,26 @@
 //!
 //! Schedules are embarrassingly parallel: each is generated from
 //! `(seed, i)` alone and executed on substrates that share no state.
-//! [`run_campaign`] therefore partitions the index space across
-//! [`CampaignConfig::workers`] threads (worker `w` runs every `i` with
-//! `i % workers == w`) and merges the classified outcomes **in index
-//! order** afterwards, so the summary — counts, violation list, and
-//! shrunk reproducers — is bit-identical to a serial run regardless of
-//! worker count or thread interleaving.
+//! [`run_campaign`] therefore spreads the index space across
+//! [`CampaignConfig::workers`] threads through a shared work-stealing
+//! cursor handing out small *chunks* of consecutive indices — so a
+//! worker stuck on one slow schedule cannot strand the rest of a fixed
+//! stride — and merges the classified outcomes **in index order**
+//! afterwards, so the summary — counts, violation list, and shrunk
+//! reproducers — is bit-identical to a serial run regardless of worker
+//! count or thread interleaving.
 
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
+use rtc_model::TimingParams;
+use rtc_net::NetOptions;
 use rtc_runtime::{ClusterOptions, SupervisorPolicy};
 
+use crate::net_driver::run_on_net;
 use crate::outcome::{ChaosOutcome, Substrate};
 use crate::runtime_driver::{run_on_runtime, run_on_supervised};
 use crate::schedule::{ChaosSchedule, ScheduleParams};
@@ -51,6 +57,13 @@ pub struct CampaignConfig {
     /// self-healing supervisor (scripted restarts replaced by reactive
     /// ones).
     pub run_supervised: bool,
+    /// Additionally execute schedules over real localhost sockets
+    /// (`rtc-net`) under the supervisor, with every network fault —
+    /// including the socket-only connection resets — injected by the
+    /// fault proxies on live TCP traffic. Off by default: each socket
+    /// run boots listeners, links, and proxies, so it is orders of
+    /// magnitude slower than a simulator pass.
+    pub run_net: bool,
     /// Supervisor tunables for the supervised substrate.
     pub supervisor: SupervisorPolicy,
     /// Shrink simulator violations to minimal reproducers.
@@ -77,6 +90,7 @@ impl Default for CampaignConfig {
             run_sim: true,
             run_runtime: true,
             run_supervised: false,
+            run_net: false,
             supervisor: SupervisorPolicy::default(),
             shrink_violations: true,
             workers: 0,
@@ -117,6 +131,10 @@ pub struct CampaignSummary {
     pub supervised_decided: u64,
     /// Supervised runs that stalled gracefully.
     pub supervised_stalled: u64,
+    /// Socket runs that decided.
+    pub net_decided: u64,
+    /// Socket runs that stalled gracefully.
+    pub net_stalled: u64,
     /// Every safety violation, with reproducers.
     pub violations: Vec<CampaignViolation>,
 }
@@ -135,6 +153,8 @@ impl CampaignSummary {
             + self.runtime_stalled
             + self.supervised_decided
             + self.supervised_stalled
+            + self.net_decided
+            + self.net_stalled
             + self.violations.len() as u64
     }
 }
@@ -143,7 +163,7 @@ impl fmt::Display for CampaignSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} schedules: sim {}/{} decided/stalled, runtime {}/{} decided/stalled, supervised {}/{} decided/stalled, {} violations",
+            "{} schedules: sim {}/{} decided/stalled, runtime {}/{} decided/stalled, supervised {}/{} decided/stalled, net {}/{} decided/stalled, {} violations",
             self.schedules,
             self.sim_decided,
             self.sim_stalled,
@@ -151,6 +171,8 @@ impl fmt::Display for CampaignSummary {
             self.runtime_stalled,
             self.supervised_decided,
             self.supervised_stalled,
+            self.net_decided,
+            self.net_stalled,
             self.violations.len()
         )
     }
@@ -171,6 +193,8 @@ fn record(
         (Substrate::Runtime, ChaosOutcome::StalledGracefully) => summary.runtime_stalled += 1,
         (Substrate::Supervised, ChaosOutcome::Decided) => summary.supervised_decided += 1,
         (Substrate::Supervised, ChaosOutcome::StalledGracefully) => summary.supervised_stalled += 1,
+        (Substrate::Net, ChaosOutcome::Decided) => summary.net_decided += 1,
+        (Substrate::Net, ChaosOutcome::StalledGracefully) => summary.net_stalled += 1,
         (_, ChaosOutcome::Violation(condition)) => {
             let shrunk = cfg
                 .shrink_violations
@@ -207,6 +231,13 @@ fn execute_schedule(cfg: &CampaignConfig, i: u64) -> ScheduleOutcomes {
         let (rep, _, _) = run_on_supervised(&schedule, cfg.cluster, cfg.supervisor);
         outcomes.push((Substrate::Supervised, rep.outcome));
     }
+    if cfg.run_net {
+        let mut opts = NetOptions::derived(cfg.cluster.tick, TimingParams::default());
+        opts.max_steps = cfg.cluster.max_steps;
+        opts.wall_timeout = cfg.cluster.wall_timeout;
+        let (rep, _, _) = run_on_net(&schedule, opts, cfg.supervisor);
+        outcomes.push((Substrate::Net, rep.outcome));
+    }
     (i, schedule, outcomes)
 }
 
@@ -241,14 +272,29 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         }
     } else {
         results.resize_with(cfg.schedules as usize, || None);
+        // Work stealing over small chunks of consecutive indices. A
+        // fixed `i % workers` stride pins each index to one worker up
+        // front, so a single slow schedule (schedules vary by an order
+        // of magnitude) strands the rest of that worker's stride while
+        // its siblings sit idle; a shared cursor lets whoever is free
+        // take the next chunk. Chunks of a few indices keep cursor
+        // contention negligible without recreating the imbalance.
+        let chunk = (cfg.schedules / (workers as u64 * 8)).max(1);
+        let next = AtomicU64::new(0);
         let per_worker = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|w| {
+                .map(|_| {
+                    let next = &next;
                     scope.spawn(move || {
-                        (w as u64..cfg.schedules)
-                            .step_by(workers)
-                            .map(|i| execute_schedule(cfg, i))
-                            .collect::<Vec<ScheduleOutcomes>>()
+                        let mut out = Vec::new();
+                        loop {
+                            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= cfg.schedules {
+                                break out;
+                            }
+                            let hi = lo.saturating_add(chunk).min(cfg.schedules);
+                            out.extend((lo..hi).map(|i| execute_schedule(cfg, i)));
+                        }
                     })
                 })
                 .collect();
@@ -312,6 +358,27 @@ mod tests {
                 "workers = {workers} diverged from serial"
             );
         }
+    }
+
+    #[test]
+    fn net_campaign_runs_schedules_over_real_sockets() {
+        let cfg = CampaignConfig {
+            schedules: 2,
+            seed: 909,
+            run_sim: false,
+            run_runtime: false,
+            run_net: true,
+            cluster: ClusterOptions {
+                tick: Duration::from_millis(1),
+                max_steps: 400,
+                wall_timeout: Duration::from_secs(15),
+            },
+            workers: 1,
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&cfg);
+        assert!(summary.ok(), "violations: {:?}", summary.violations);
+        assert_eq!(summary.net_decided + summary.net_stalled, 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! substrate-neutral description of everything that goes wrong in one
 //! commit run — crashes, restarts (from snapshot or amnesiac), delay
 //! spikes, link flaps — generated deterministically from a campaign
-//! seed. Each schedule is executed on **both** substrates:
+//! seed. Each schedule can be executed on every substrate:
 //!
 //! * the discrete-event simulator (`rtc-sim`), where a
 //!   [`ChaosAdversary`] realizes the schedule as an admissible
@@ -14,7 +14,17 @@
 //! * the threaded runtime (`rtc-runtime`), where the schedule becomes a
 //!   [`rtc_runtime::FaultPlan`] executed by
 //!   [`rtc_runtime::run_cluster_recoverable`] over real threads and
-//!   channels.
+//!   channels (optionally under the self-healing supervisor);
+//! * the socket substrate (`rtc-net`), where the same fault plan is
+//!   injected by per-node proxies on live localhost TCP traffic —
+//!   including connection resets, which only sockets can express — and
+//!   recovery is always the supervisor's ([`run_on_net`]).
+//!
+//! The [`run_soak`] harness closes the loop: it boots supervised
+//! socket clusters under continuous fault injection, multiplexes many
+//! seeded commit instances over each connection mesh, and checks every
+//! instance's decision against the simulator's prediction for the same
+//! schedule.
 //!
 //! Every run is classified ([`ChaosOutcome`]): it either *decided*
 //! (with all of the paper's Section 2.4 conditions checked), *stalled
@@ -32,20 +42,24 @@
 
 mod adversary;
 mod campaign;
+mod net_driver;
 mod outcome;
 mod runtime_driver;
 mod schedule;
 mod shrink;
 mod sim_driver;
+mod soak;
 mod theorem11;
 
 pub use adversary::ChaosAdversary;
 pub use campaign::{run_campaign, CampaignConfig, CampaignSummary, CampaignViolation};
+pub use net_driver::{classify_net, run_on_net};
 pub use outcome::{classify_verdict, ChaosOutcome, ChaosReport, Substrate};
 pub use runtime_driver::{classify_cluster, run_on_runtime, run_on_supervised, to_fault_plan};
 pub use schedule::{
     ChaosCrash, ChaosDelay, ChaosFlap, ChaosPartition, ChaosRestart, ChaosSchedule, ScheduleParams,
 };
 pub use shrink::{shrink_schedule, shrink_sim_violation};
-pub use sim_driver::run_on_sim;
+pub use sim_driver::{run_on_sim, run_on_sim_with_decision};
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use theorem11::{run_theorem11, Theorem11Evidence};

@@ -1,0 +1,173 @@
+//! Executes a [`ChaosSchedule`] on the socket substrate (`rtc-net`).
+//!
+//! The schedule maps onto the same [`rtc_runtime::FaultPlan`] the
+//! threaded runtime uses — [`to_fault_plan`] — but here the plan's
+//! network faults are realized by per-node fault proxies intercepting
+//! real TCP frames, and its `reset_permille` (inert on every other
+//! substrate) injects genuine connection resets that the links must
+//! survive through reconnect and replay. Recovery is always the
+//! supervisor's job: scripted restarts are ignored, exactly as in
+//! [`run_on_supervised`](crate::run_on_supervised), because a socket
+//! cluster is the deployment shape and deployments do not get scripted
+//! resurrections.
+
+use rtc_core::properties::CommitVerdict;
+use rtc_core::{commit_population, CommitConfig};
+use rtc_model::{SeedCollection, TimingParams};
+use rtc_net::{run_net_supervised, NetOptions, NetReport};
+use rtc_runtime::{SupervisorPolicy, SupervisorReport};
+
+use crate::outcome::{classify_verdict, ChaosReport, Substrate};
+use crate::runtime_driver::{classify_cluster, to_fault_plan};
+use crate::schedule::ChaosSchedule;
+
+/// Runs `schedule` over real localhost sockets under the self-healing
+/// supervisor, classifying the outcome. Scripted restarts are ignored
+/// (the supervisor owns recovery); everything else in the schedule —
+/// crashes, delay regimes, flaps, partitions, duplication, reordering,
+/// and the socket-only connection resets — is injected by the fault
+/// proxies on live TCP traffic.
+///
+/// Also returns the raw [`NetReport`] (socket-layer counters, per-node
+/// lateness) and the [`SupervisorReport`] for callers that want the
+/// operational detail.
+///
+/// # Panics
+///
+/// Panics if the schedule's population/fault-bound combination is
+/// rejected by [`CommitConfig`], or if the schedule maps to an invalid
+/// fault plan — generated schedules never do either.
+pub fn run_on_net(
+    schedule: &ChaosSchedule,
+    opts: NetOptions,
+    policy: SupervisorPolicy,
+) -> (ChaosReport, NetReport, SupervisorReport) {
+    let cfg = CommitConfig::new(schedule.n, schedule.t, TimingParams::default())
+        .expect("schedule population accepts its fault bound")
+        .with_early_abort(schedule.early_abort);
+    let plan = to_fault_plan(schedule, opts.tick);
+    plan.validate(schedule.n, schedule.t)
+        .expect("generated schedules map to valid fault plans");
+    let (report, sup) = run_net_supervised(
+        vec![commit_population(cfg, &schedule.votes)],
+        vec![SeedCollection::new(schedule.seed)],
+        plan,
+        opts,
+        schedule.t,
+        policy,
+    );
+    let verdict = classify_net(schedule, &report, cfg.timing());
+    let late_messages = report.stats.late_deliveries;
+    (
+        ChaosReport {
+            substrate: Substrate::Net,
+            outcome: classify_verdict(&verdict),
+            verdict,
+            late_messages,
+        },
+        report,
+        sup,
+    )
+}
+
+/// Evaluates the paper's commit conditions over a finished single-
+/// instance socket run. Structural conditions come from the instance's
+/// [`rtc_runtime::ClusterReport`] via [`classify_cluster`]; the
+/// *on-time* precondition is tightened with the socket layer's own
+/// lateness monitor, which classifies real deliveries online exactly
+/// like the simulator does.
+pub fn classify_net(
+    schedule: &ChaosSchedule,
+    report: &NetReport,
+    timing: TimingParams,
+) -> CommitVerdict {
+    let instance = &report.instances[0];
+    let mut verdict = classify_cluster(schedule, instance, timing);
+    verdict.on_time = verdict.on_time && report.stats.on_time();
+    // Commit validity was predicated on the cluster-level on-time
+    // estimate; recompute its applicability under the tightened one.
+    if !verdict.on_time {
+        verdict.commit_validity = rtc_core::properties::Condition::NotApplicable;
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use rtc_model::{ProcessorId, Value};
+
+    use super::*;
+    use crate::outcome::ChaosOutcome;
+    use crate::schedule::{ChaosCrash, ChaosDelay, ChaosPartition};
+
+    fn fast_opts() -> NetOptions {
+        let mut opts = NetOptions::derived(Duration::from_millis(1), TimingParams::default());
+        opts.wall_timeout = Duration::from_secs(20);
+        opts
+    }
+
+    fn plain(n: usize, seed: u64, votes: Vec<Value>) -> ChaosSchedule {
+        ChaosSchedule {
+            seed,
+            n,
+            t: CommitConfig::max_tolerated(n),
+            votes,
+            early_abort: true,
+            delay: ChaosDelay::None,
+            crashes: Vec::new(),
+            restarts: Vec::new(),
+            flaps: Vec::new(),
+            partitions: Vec::new(),
+            duplicate_permille: 0,
+            reset_permille: 0,
+            reorder_permille: 0,
+        }
+    }
+
+    #[test]
+    fn faultfree_schedule_decides_over_sockets() {
+        let s = plain(3, 51, vec![Value::One; 3]);
+        let (rep, net, _) = run_on_net(&s, fast_opts(), SupervisorPolicy::default());
+        assert_eq!(rep.outcome, ChaosOutcome::Decided, "{net:?}");
+        assert!(net.agreement_holds());
+    }
+
+    #[test]
+    fn hostile_schedule_with_resets_stays_safe_over_sockets() {
+        let mut s = plain(3, 52, vec![Value::One, Value::Zero, Value::One]);
+        s.duplicate_permille = 300;
+        s.reorder_permille = 300;
+        s.reset_permille = 200;
+        s.partitions.push(ChaosPartition {
+            side: vec![ProcessorId::new(0)],
+            from_step: 0,
+            heal_step: 3,
+        });
+        let (rep, net, _) = run_on_net(&s, fast_opts(), SupervisorPolicy::default());
+        assert!(rep.outcome.is_safe(), "{}: {net:?}", rep.outcome);
+        // A Zero vote forces every decision to abort, on any substrate.
+        for inst in &net.instances {
+            for st in &inst.statuses {
+                if let Some(v) = st.value() {
+                    assert_eq!(v, Value::Zero);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervisor_heals_a_scripted_crash_over_sockets() {
+        let mut s = plain(3, 53, vec![Value::One; 3]);
+        s.crashes.push(ChaosCrash {
+            victim: ProcessorId::new(1),
+            at_step: 3,
+            drop_final_sends: true,
+        });
+        let (rep, net, sup) = run_on_net(&s, fast_opts(), SupervisorPolicy::default());
+        assert!(rep.outcome.is_decided(), "{} / {sup:?}", rep.outcome);
+        assert!(net.instances[0].crashed[1] && net.instances[0].recovered[1]);
+        assert!(sup.restarts[1] >= 1);
+    }
+}

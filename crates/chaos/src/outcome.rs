@@ -21,6 +21,9 @@ pub enum Substrate {
     /// The threaded runtime driven by the self-healing supervisor
     /// instead of the schedule's scripted restarts.
     Supervised,
+    /// The socket substrate (`rtc-net`): real localhost TCP with
+    /// fault-injecting proxies, driven by the supervisor.
+    Net,
 }
 
 impl fmt::Display for Substrate {
@@ -29,6 +32,7 @@ impl fmt::Display for Substrate {
             Substrate::Sim => write!(f, "sim"),
             Substrate::Runtime => write!(f, "runtime"),
             Substrate::Supervised => write!(f, "supervised"),
+            Substrate::Net => write!(f, "net"),
         }
     }
 }

@@ -68,6 +68,11 @@ pub fn to_fault_plan(schedule: &ChaosSchedule, tick: Duration) -> FaultPlan {
     if schedule.reorder_permille > 0 {
         plan = plan.with_reordering(schedule.reorder_permille);
     }
+    if schedule.reset_permille > 0 {
+        // Channels cannot be reset; only the socket substrate acts on
+        // this, every other executor carries it inertly.
+        plan = plan.with_resets(schedule.reset_permille);
+    }
     if schedule.degraded() {
         plan = plan.degraded();
     }
@@ -253,6 +258,7 @@ mod tests {
             flaps: Vec::new(),
             partitions: Vec::new(),
             duplicate_permille: 0,
+            reset_permille: 0,
             reorder_permille: 0,
         };
         let (rep, cluster) = run_on_runtime(&s, fast_opts());
@@ -281,6 +287,7 @@ mod tests {
             flaps: Vec::new(),
             partitions: Vec::new(),
             duplicate_permille: 0,
+            reset_permille: 0,
             reorder_permille: 0,
         };
         let (rep, cluster) = run_on_runtime(&s, fast_opts());
@@ -308,6 +315,7 @@ mod tests {
             flaps: Vec::new(),
             partitions: Vec::new(),
             duplicate_permille: 0,
+            reset_permille: 0,
             reorder_permille: 0,
         };
         let mut opts = fast_opts();

@@ -133,6 +133,11 @@ pub struct ChaosSchedule {
     /// Probability, in thousandths, that a message is duplicated in
     /// flight.
     pub duplicate_permille: u32,
+    /// Probability, in thousandths, that the connection carrying a
+    /// message is reset right after delivering it. Only the socket
+    /// substrate can express this fault; the simulator and the
+    /// channel-based runtime ignore it.
+    pub reset_permille: u32,
     /// Probability, in thousandths, that a message is reordered behind
     /// its queue mates.
     pub reorder_permille: u32,
@@ -288,8 +293,18 @@ impl ChaosSchedule {
             ensure_quorum_recoverable(&crashes, &mut restarts, t, &mut rng);
         }
 
+        let seed = rng.gen_range(0..u64::MAX);
+        // Socket-only fault, drawn *after* every pre-existing draw so
+        // the schedules of older campaigns stay bit-identical under the
+        // same (campaign_seed, index).
+        let reset_permille = if rng.gen_range(0..100u32) < 30 {
+            rng.gen_range(50..=250u32)
+        } else {
+            0
+        };
+
         ChaosSchedule {
-            seed: rng.gen_range(0..u64::MAX),
+            seed,
             n,
             t,
             votes,
@@ -300,6 +315,7 @@ impl ChaosSchedule {
             flaps,
             partitions,
             duplicate_permille,
+            reset_permille,
             reorder_permille,
         }
     }
@@ -349,6 +365,7 @@ impl ChaosSchedule {
             flaps: Vec::new(),
             partitions: Vec::new(),
             duplicate_permille: 0,
+            reset_permille: 0,
             reorder_permille: 0,
         }
     }
@@ -478,6 +495,7 @@ mod tests {
                 assert_eq!(groups.iter().filter(|g| **g == 1).count(), part.side.len());
             }
             assert!(s.duplicate_permille <= 1000 && s.reorder_permille <= 1000);
+            assert!(s.reset_permille <= 1000);
         }
     }
 
@@ -493,6 +511,7 @@ mod tests {
         );
         assert!(schedules.iter().any(|s| s.duplicate_permille > 0));
         assert!(schedules.iter().any(|s| s.reorder_permille > 0));
+        assert!(schedules.iter().any(|s| s.reset_permille > 0));
     }
 
     #[test]

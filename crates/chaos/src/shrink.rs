@@ -36,6 +36,11 @@ fn candidates(s: &ChaosSchedule) -> Vec<ChaosSchedule> {
         c.reorder_permille = 0;
         out.push(c);
     }
+    if s.reset_permille > 0 {
+        let mut c = s.clone();
+        c.reset_permille = 0;
+        out.push(c);
+    }
     if s.delay != ChaosDelay::None {
         let mut c = s.clone();
         c.delay = ChaosDelay::None;

@@ -27,6 +27,17 @@ use crate::schedule::{ChaosRestart, ChaosSchedule};
 /// Panics if the schedule's population/fault-bound combination is
 /// rejected by [`CommitConfig`] — generated schedules never are.
 pub fn run_on_sim(schedule: &ChaosSchedule, max_events: u64) -> ChaosReport {
+    run_on_sim_with_decision(schedule, max_events).0
+}
+
+/// Like [`run_on_sim`], but also returns the value the run decided
+/// (`None` when the run stalled without any decision). Soak runs use
+/// this as the simulator's *prediction* for the same schedule executed
+/// over real sockets.
+pub fn run_on_sim_with_decision(
+    schedule: &ChaosSchedule,
+    max_events: u64,
+) -> (ChaosReport, Option<rtc_model::Value>) {
     let cfg = CommitConfig::new(schedule.n, schedule.t, TimingParams::default())
         .expect("schedule population accepts its fault bound")
         .with_early_abort(schedule.early_abort);
@@ -98,12 +109,16 @@ pub fn run_on_sim(schedule: &ChaosSchedule, max_events: u64) -> ChaosReport {
 
     let verdict = verify_commit_run(&schedule.votes, &report, sim.trace(), cfg.timing());
     let late_messages = sim.lateness().late_count() as u64;
-    ChaosReport {
-        substrate: Substrate::Sim,
-        outcome: classify_verdict(&verdict),
-        verdict,
-        late_messages,
-    }
+    let decision = report.decided_values().first().copied();
+    (
+        ChaosReport {
+            substrate: Substrate::Sim,
+            outcome: classify_verdict(&verdict),
+            verdict,
+            late_messages,
+        },
+        decision,
+    )
 }
 
 #[cfg(test)]
@@ -128,6 +143,7 @@ mod tests {
             flaps: Vec::new(),
             partitions: Vec::new(),
             duplicate_permille: 0,
+            reset_permille: 0,
             reorder_permille: 0,
         }
     }

@@ -1,0 +1,308 @@
+//! Supervised socket soak: a localhost cluster under continuous fault
+//! injection, checked against the simulator's predictions.
+//!
+//! Each soak *round* boots one supervised socket cluster and
+//! multiplexes several commit instances over its connection mesh while
+//! the fault proxies keep injecting a partition that heals, message
+//! duplication, reordering, and connection resets — and, periodically,
+//! a scripted node crash the supervisor must heal. Every instance is
+//! seeded, so the *same* schedule can be replayed on the discrete-event
+//! simulator; the soak compares the two substrates' decisions.
+//!
+//! What is hard-checked versus merely counted follows the paper's
+//! validity conditions. An instance with a `Zero` vote is *forced*:
+//! abort validity pins its decision to abort on every substrate, so a
+//! simulator/socket disagreement there is a failure. A unanimous-`One`
+//! instance under a hostile network is not forced — commit validity is
+//! conditional on on-time delivery, which the two substrates realize
+//! with different physical timings — so its cross-substrate comparison
+//! is recorded (`matched`/`diverged`) but only safety is asserted.
+
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtc_core::{commit_population, CommitConfig};
+use rtc_model::{ProcessorId, SeedCollection, TimingParams, Value};
+use rtc_net::{run_net_supervised, NetOptions, NetRunStats};
+use rtc_runtime::SupervisorPolicy;
+
+use crate::outcome::{classify_verdict, ChaosOutcome};
+use crate::runtime_driver::{classify_cluster, to_fault_plan};
+use crate::schedule::{ChaosCrash, ChaosDelay, ChaosPartition, ChaosRestart, ChaosSchedule};
+use crate::sim_driver::run_on_sim_with_decision;
+
+/// Knobs for one soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Supervised socket clusters to boot, one after another.
+    pub rounds: u64,
+    /// Commit instances multiplexed over each round's connection mesh.
+    pub instances: usize,
+    /// Population size of every round.
+    pub n: usize,
+    /// Master seed; every round's faults, votes, and coin seeds derive
+    /// from it, so a soak is reproducible from this one integer.
+    pub seed: u64,
+    /// Real-time duration of one automaton step.
+    pub tick: Duration,
+    /// Wall-clock budget per round.
+    pub wall_timeout: Duration,
+    /// Event cap for each simulator prediction run.
+    pub sim_max_events: u64,
+    /// Restart policy for the supervisor healing the socket cluster.
+    pub supervisor: SupervisorPolicy,
+    /// Crash one node in every `crash_every`-th round (0 = never).
+    pub crash_every: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            rounds: 4,
+            instances: 3,
+            n: 3,
+            seed: 0xC0A7_1986,
+            tick: Duration::from_millis(1),
+            wall_timeout: Duration::from_secs(20),
+            sim_max_events: 400_000,
+            supervisor: SupervisorPolicy::default(),
+            crash_every: 2,
+        }
+    }
+}
+
+/// Aggregate result of a soak run.
+#[derive(Clone, Debug, Default)]
+pub struct SoakReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total instances executed (rounds × instances per round).
+    pub instances: u64,
+    /// Instances in which every owed processor decided on the socket
+    /// substrate within the round's budget.
+    pub decided: u64,
+    /// Instances whose socket decision equalled the simulator's
+    /// prediction for the same seeded schedule.
+    pub matched: u64,
+    /// `(round, instance)` pairs whose decisions differed where the
+    /// schedule did not force one (unanimous-`One` under lateness):
+    /// legitimate, but worth watching.
+    pub diverged: Vec<(u64, usize)>,
+    /// `(round, instance)` pairs that broke a *forced* comparison — a
+    /// `Zero`-vote instance whose substrates did not both abort. Always
+    /// a failure.
+    pub forced_failures: Vec<(u64, usize)>,
+    /// Safety violations on either substrate, described. Always a
+    /// failure.
+    pub violations: Vec<String>,
+    /// Socket-layer counters accumulated over every round.
+    pub stats: NetRunStats,
+    /// Node restarts performed by the supervisor across all rounds.
+    pub supervisor_restarts: u64,
+}
+
+impl SoakReport {
+    /// Whether the soak held everything it asserts: no safety
+    /// violation anywhere, no forced-decision mismatch, and every
+    /// instance decided.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+            && self.forced_failures.is_empty()
+            && self.decided == self.instances
+    }
+}
+
+impl fmt::Display for SoakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds / {} instances: {} decided, {} matched sim, {} diverged, \
+             {} forced failures, {} violations; {} frames ({} dropped), \
+             {} reconnects, {} resets injected, {} late deliveries, \
+             {} supervisor restarts",
+            self.rounds,
+            self.instances,
+            self.decided,
+            self.matched,
+            self.diverged.len(),
+            self.forced_failures.len(),
+            self.violations.len(),
+            self.stats.frames_sent,
+            self.stats.frames_dropped,
+            self.stats.reconnects,
+            self.stats.resets_injected,
+            self.stats.late_deliveries,
+            self.supervisor_restarts,
+        )
+    }
+}
+
+/// Builds round `round`'s per-instance schedules: a shared hostile
+/// fault shape (healing partition, duplication, reordering, resets,
+/// periodic crash) with per-instance votes and coin seeds.
+fn round_schedules(cfg: &SoakConfig, round: u64) -> Vec<ChaosSchedule> {
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x50A4);
+    let t = CommitConfig::max_tolerated(cfg.n);
+    let partition = ChaosPartition {
+        side: vec![ProcessorId::new(rng.gen_range(0..cfg.n))],
+        from_step: 0,
+        heal_step: rng.gen_range(2..=3u64),
+    };
+    let crashes: Vec<ChaosCrash> = (cfg.crash_every > 0 && round.is_multiple_of(cfg.crash_every))
+        .then(|| ChaosCrash {
+            victim: ProcessorId::new(usize::try_from(round).unwrap_or(0) % cfg.n),
+            at_step: rng.gen_range(1..=3u64),
+            drop_final_sends: true,
+        })
+        .into_iter()
+        .collect();
+    // Mirror the socket side's supervisor in the substrate-neutral
+    // schedule: a scripted snapshot restart a few steps after the
+    // crash. The simulator honours it (so its prediction is decisive,
+    // not a graceful stall), while `run_net_supervised` strips scripted
+    // restarts — there the reactive supervisor does the reviving.
+    let restarts: Vec<ChaosRestart> = crashes
+        .iter()
+        .map(|c| ChaosRestart {
+            victim: c.victim,
+            delay_steps: rng.gen_range(2..=4u64),
+            from_snapshot: true,
+        })
+        .collect();
+    (0..cfg.instances)
+        .map(|_| {
+            let votes = if rng.gen_range(0..2u32) == 0 {
+                vec![Value::One; cfg.n]
+            } else {
+                let mut v = vec![Value::One; cfg.n];
+                v[rng.gen_range(0..cfg.n)] = Value::Zero;
+                v
+            };
+            ChaosSchedule {
+                seed: rng.gen_range(0..u64::MAX),
+                n: cfg.n,
+                t,
+                votes,
+                early_abort: true,
+                delay: ChaosDelay::None,
+                crashes: crashes.clone(),
+                restarts: restarts.clone(),
+                flaps: Vec::new(),
+                partitions: vec![partition.clone()],
+                duplicate_permille: 300,
+                reset_permille: 150,
+                reorder_permille: 250,
+            }
+        })
+        .collect()
+}
+
+/// Runs the soak: `cfg.rounds` supervised socket clusters, each
+/// multiplexing `cfg.instances` seeded commit instances under
+/// continuous fault injection, every instance checked against its
+/// simulator prediction.
+///
+/// # Panics
+///
+/// Panics if `cfg` describes a population the commit config rejects
+/// (`n < 3`) or zero instances per round.
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    assert!(cfg.instances > 0, "a soak round needs instances");
+    let timing = TimingParams::default();
+    let mut report = SoakReport {
+        rounds: cfg.rounds,
+        instances: cfg.rounds * cfg.instances as u64,
+        ..SoakReport::default()
+    };
+    let mut opts = NetOptions::derived(cfg.tick, timing);
+    opts.wall_timeout = cfg.wall_timeout;
+
+    for round in 0..cfg.rounds {
+        let schedules = round_schedules(cfg, round);
+        let t = schedules[0].t;
+        let plan = to_fault_plan(&schedules[0], cfg.tick);
+        plan.validate(cfg.n, t)
+            .expect("soak rounds map to valid fault plans");
+        let populations = schedules
+            .iter()
+            .map(|s| {
+                let commit_cfg = CommitConfig::new(s.n, s.t, timing)
+                    .expect("soak population accepts its fault bound")
+                    .with_early_abort(s.early_abort);
+                commit_population(commit_cfg, &s.votes)
+            })
+            .collect();
+        let seeds = schedules
+            .iter()
+            .map(|s| SeedCollection::new(s.seed))
+            .collect();
+        let (net, sup) = run_net_supervised(populations, seeds, plan, opts, t, cfg.supervisor);
+
+        for (k, s) in schedules.iter().enumerate() {
+            let instance = &net.instances[k];
+            let verdict = classify_cluster(s, instance, timing);
+            if let ChaosOutcome::Violation(what) = classify_verdict(&verdict) {
+                report
+                    .violations
+                    .push(format!("round {round} instance {k} on net: {what}"));
+            }
+            if verdict.deciding {
+                report.decided += 1;
+            }
+            let net_decision = instance.statuses.iter().find_map(|st| st.value());
+
+            let (sim_rep, sim_decision) = run_on_sim_with_decision(s, cfg.sim_max_events);
+            if let ChaosOutcome::Violation(what) = sim_rep.outcome {
+                report
+                    .violations
+                    .push(format!("round {round} instance {k} on sim: {what}"));
+            }
+
+            let forced = s.votes.contains(&Value::Zero);
+            if forced && (net_decision != Some(Value::Zero) || sim_decision != Some(Value::Zero)) {
+                report.forced_failures.push((round, k));
+            }
+            if net_decision == sim_decision && net_decision.is_some() {
+                report.matched += 1;
+            } else {
+                report.diverged.push((round, k));
+            }
+        }
+
+        report.stats.frames_sent += net.stats.frames_sent;
+        report.stats.frames_dropped += net.stats.frames_dropped;
+        report.stats.reconnects += net.stats.reconnects;
+        report.stats.links_given_up += net.stats.links_given_up;
+        report.stats.resets_injected += net.stats.resets_injected;
+        report.stats.deliveries += net.stats.deliveries;
+        report.stats.late_deliveries += net.stats.late_deliveries;
+        report.supervisor_restarts += u64::from(sup.total_restarts());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_soak_is_safe_and_matches_forced_predictions() {
+        let cfg = SoakConfig {
+            rounds: 2,
+            instances: 2,
+            seed: 77,
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&cfg);
+        assert!(report.ok(), "{report}\nviolations: {:?}", report.violations);
+        assert_eq!(report.instances, 4);
+        // The proxies really did inject faults on live traffic.
+        assert!(report.stats.resets_injected > 0, "{report}");
+        assert!(report.stats.frames_sent > 0);
+        // Round 0 crashes a node; the supervisor must have healed it.
+        assert!(report.supervisor_restarts >= 1, "{report}");
+    }
+}

@@ -1,0 +1,895 @@
+//! The socket cluster: nodes on threads, links on TCP, faults on the
+//! wire.
+//!
+//! Topology per run, for `n` nodes and `m` commit instances:
+//!
+//! ```text
+//!  node i ── links[i][j] (sender thread, reconnect+backoff) ──► ...
+//!      ... ──► proxy j (when the plan has network faults) ──► ...
+//!      ... ──► listener j ──► reader threads ──► inbox j ──► node j
+//! ```
+//!
+//! * Each node owns one real [`TcpListener`]; acceptor and reader
+//!   threads outlive node crashes, so frames that arrive while a node
+//!   is down wait in its inbox — the same eventual-delivery-across-
+//!   crashes guarantee the channel runtime gets from its shared inbox.
+//! * All traffic, self-sends included, crosses real sockets, so every
+//!   link is subject to the same faults.
+//! * Every node steps all `m` instances once per tick; frames carry the
+//!   instance tag. Each instance draws from its own
+//!   [`SeedCollection`], so instance `k` of a socket run is coin-for-
+//!   coin the population the simulator runs under seed `k`.
+//! * Each delivery is classified on-time/late by the simulator's online
+//!   [`LatenessMonitor`] against a global step-event counter — the
+//!   paper's Section 2 lateness, measured on real traffic.
+
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rtc_model::{Delivery, LocalClock, ProcessorId, Recoverable, SeedCollection, Status};
+use rtc_runtime::{
+    ClusterReport, DelayModel, FaultPlan, Supervisable, SupervisorPolicy, SupervisorReport,
+};
+use rtc_sim::{LatenessMonitor, MsgId};
+
+use crate::options::NetOptions;
+use crate::peer::{spawn_link, NetCounters};
+use crate::proxy::FaultProxy;
+use crate::wire::{encode_frame, try_decode_frame, Frame, Wire};
+
+/// A decoded frame in a node's inbox.
+struct NetEnvelope<M> {
+    from: ProcessorId,
+    instance: usize,
+    sent_at_tick: u64,
+    sent_event: u64,
+    msg: M,
+}
+
+/// An inbox endpoint shareable across a node's successive incarnations;
+/// the mutex serialises incarnations exactly like the channel runtime.
+type SharedInbox<M> = Arc<Mutex<Receiver<NetEnvelope<M>>>>;
+
+/// Socket-layer totals for one run.
+#[derive(Clone, Debug, Default)]
+pub struct NetRunStats {
+    /// Frames link senders wrote to a socket.
+    pub frames_sent: u64,
+    /// Frames dropped because a link had exhausted its retry budget
+    /// (or teardown overtook them).
+    pub frames_dropped: u64,
+    /// Successful re-establishments of a broken connection.
+    pub reconnects: u64,
+    /// Links that gave up and marked their peer down.
+    pub links_given_up: u64,
+    /// Connection resets injected by the fault proxies.
+    pub resets_injected: u64,
+    /// Deliveries classified by the lateness monitor.
+    pub deliveries: u64,
+    /// Deliveries the monitor classified late.
+    pub late_deliveries: u64,
+}
+
+impl NetRunStats {
+    /// Whether every delivery of the run was on-time in the paper's
+    /// sense — the socket analogue of an admissible execution.
+    pub fn on_time(&self) -> bool {
+        self.late_deliveries == 0
+    }
+}
+
+/// The outcome of one socket cluster run: one [`ClusterReport`] per
+/// multiplexed commit instance, plus the socket-layer stats.
+#[derive(Clone, Debug)]
+pub struct NetReport {
+    /// Per-instance reports, in instance order. `steps`, `crashed`,
+    /// `recovered`, and `messages_undelivered` are substrate-global
+    /// (nodes crash as processes, not per instance) and repeated in
+    /// every instance's report.
+    pub instances: Vec<ClusterReport>,
+    /// Socket-layer counters for the whole run.
+    pub stats: NetRunStats,
+}
+
+impl NetReport {
+    /// Whether at most one distinct value was decided in every
+    /// instance.
+    pub fn agreement_holds(&self) -> bool {
+        self.instances.iter().all(ClusterReport::agreement_holds)
+    }
+
+    /// Whether every instance ended with all owed decisions in.
+    pub fn all_decided(&self) -> bool {
+        self.instances
+            .iter()
+            .all(ClusterReport::all_nonfaulty_decided)
+    }
+}
+
+/// Everything the node threads share.
+struct NetShared<A: Recoverable> {
+    instances: usize,
+    /// `statuses[k][i]`: instance `k`'s status at node `i`.
+    statuses: Mutex<Vec<Vec<Status>>>,
+    steps: Mutex<Vec<u64>>,
+    done: Arc<AtomicBool>,
+    /// Protocol messages sent, per instance (pre-fault, pre-frame).
+    messages: Vec<AtomicU64>,
+    /// Receiver-tick-minus-sender-tick deltas, per instance.
+    link_delays: Mutex<Vec<Vec<i64>>>,
+    /// `crash_snaps[i][k]`: node `i`'s crash-time snapshot of instance
+    /// `k` — the stable storage a dying node writes.
+    crash_snaps: Mutex<Vec<Vec<Option<A::Snapshot>>>>,
+    /// `init_snaps[i][k]`: the fallback for amnesiac restarts.
+    init_snaps: Mutex<Vec<Vec<A::Snapshot>>>,
+    down: Mutex<Vec<bool>>,
+    ever_crashed: Mutex<Vec<bool>>,
+    /// One seed collection per instance: instance `k` replays the
+    /// simulator's coin flips for seed collection `k`.
+    seeds: Vec<SeedCollection>,
+    plan: FaultPlan,
+    tick: Duration,
+    max_steps: u64,
+    /// Global step-event counter feeding the lateness monitor.
+    events: AtomicU64,
+    delivery_ids: AtomicU64,
+    lateness: Mutex<LatenessMonitor>,
+    /// `links[i][j]`: the frame channel from node `i` toward node `j`'s
+    /// listener (or proxy).
+    links: Vec<Vec<Sender<Vec<u8>>>>,
+    counters: Arc<NetCounters>,
+}
+
+/// How a node thread comes up.
+enum NetBoot<A> {
+    /// First incarnation: one automaton per instance, plus the node's
+    /// scripted crash step.
+    Fresh {
+        autos: Vec<A>,
+        crash_at: Option<u64>,
+    },
+    /// Respawn of a crashed node.
+    Restart { from_snapshot: bool },
+}
+
+fn spawn_net_node<A>(
+    shared: Arc<NetShared<A>>,
+    i: usize,
+    rx: SharedInbox<A::Msg>,
+    boot: NetBoot<A>,
+) -> thread::JoinHandle<()>
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Wire + Send + 'static,
+{
+    thread::spawn(move || {
+        let id = ProcessorId::new(i);
+        // The inbox mutex serialises incarnations: a restarting thread
+        // inherits every frame queued while the node was down.
+        let rx = rx.lock();
+        let (mut autos, crash_at, mut clock) = match boot {
+            NetBoot::Fresh { autos, crash_at } => (autos, crash_at, 0u64),
+            NetBoot::Restart { from_snapshot } => {
+                let snaps = shared.crash_snaps.lock()[i].clone();
+                let inits = shared.init_snaps.lock();
+                let autos: Vec<A> = (0..shared.instances)
+                    .map(|k| match (from_snapshot, &snaps[k]) {
+                        (true, Some(s)) => A::restore(s),
+                        _ => A::restore_amnesiac(&inits[i][k]),
+                    })
+                    .collect();
+                drop(inits);
+                let clock = shared.steps.lock()[i];
+                let mut st = shared.statuses.lock();
+                for (k, a) in autos.iter().enumerate() {
+                    st[k][i] = a.status();
+                }
+                drop(st);
+                (autos, None, clock)
+            }
+        };
+        while !shared.done.load(Ordering::Relaxed) && clock < shared.max_steps {
+            if crash_at == Some(clock) {
+                // Fail-stop mid-broadcast: this step's frames are never
+                // sent; the snapshots are the stable storage.
+                let snaps: Vec<Option<A::Snapshot>> =
+                    autos.iter().map(|a| Some(a.snapshot())).collect();
+                shared.crash_snaps.lock()[i] = snaps;
+                shared.ever_crashed.lock()[i] = true;
+                shared.down.lock()[i] = true;
+                return;
+            }
+            // Collect one tick's worth of arrivals.
+            let deadline = Instant::now() + shared.tick;
+            let mut arrivals: Vec<NetEnvelope<A::Msg>> = Vec::new();
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline.saturating_duration_since(now)) {
+                    Ok(env) => arrivals.push(env),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            // This step's global event, for the paper's lateness
+            // measure: note the step first (the receiving step counts
+            // toward the interval), then classify the arrivals.
+            let ev = shared.events.fetch_add(1, Ordering::Relaxed) + 1;
+            {
+                let mut mon = shared.lateness.lock();
+                mon.note_step(i, ev);
+                for env in &arrivals {
+                    let did = shared.delivery_ids.fetch_add(1, Ordering::Relaxed);
+                    mon.classify_delivery(MsgId::external(did), env.sent_event);
+                }
+            }
+            {
+                let mut delays = shared.link_delays.lock();
+                for env in &arrivals {
+                    if env.instance < shared.instances {
+                        delays[env.instance].push(clock as i64 - env.sent_at_tick as i64);
+                    }
+                }
+            }
+            // Demultiplex and step every instance once.
+            let mut per_instance: Vec<Vec<Delivery<A::Msg>>> =
+                (0..shared.instances).map(|_| Vec::new()).collect();
+            for env in arrivals {
+                if env.instance < shared.instances {
+                    per_instance[env.instance].push(Delivery::new(env.from, env.msg));
+                }
+            }
+            let mut outgoing: Vec<(usize, rtc_model::Send<A::Msg>)> = Vec::new();
+            for (k, auto) in autos.iter_mut().enumerate() {
+                let mut rng = shared.seeds[k].step_rng(id, LocalClock::new(clock));
+                for out in auto.step(&per_instance[k], &mut rng) {
+                    outgoing.push((k, out));
+                }
+            }
+            clock += 1;
+            shared.steps.lock()[i] = clock;
+            {
+                let mut st = shared.statuses.lock();
+                for (k, a) in autos.iter().enumerate() {
+                    st[k][i] = a.status();
+                }
+            }
+            for (k, out) in outgoing {
+                shared.messages[k].fetch_add(1, Ordering::Relaxed);
+                let bytes = encode_frame(&Frame {
+                    from: id,
+                    instance: k as u32,
+                    sent_at_tick: clock,
+                    sent_event: ev,
+                    msg: out.msg,
+                });
+                let _ = shared.links[i][out.to.index()].send(bytes);
+            }
+        }
+    })
+}
+
+/// Spawns the acceptor for node `i`'s real listener. Each accepted
+/// connection gets a reader thread that parses frames into the node's
+/// inbox; readers outlive node crashes, so the inbox keeps filling
+/// while the node is down.
+fn spawn_acceptor<M>(
+    listener: TcpListener,
+    inbox: Sender<NetEnvelope<M>>,
+    done: Arc<AtomicBool>,
+) -> thread::JoinHandle<()>
+where
+    M: Wire + Send + 'static,
+{
+    thread::spawn(move || {
+        let mut readers: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !done.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let inbox = inbox.clone();
+                    let done = Arc::clone(&done);
+                    readers.push(thread::spawn(move || read_frames(stream, &inbox, &done)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => break,
+            }
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+    })
+}
+
+/// Reads frames off one connection into the inbox until EOF, error, or
+/// teardown. Reads are accumulated into a buffer and parsed at frame
+/// boundaries, so a read deadline can never tear a frame.
+fn read_frames<M>(mut stream: TcpStream, inbox: &Sender<NetEnvelope<M>>, done: &AtomicBool)
+where
+    M: Wire,
+{
+    // The deadline doubles as the teardown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if done.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match try_decode_frame::<M>(&buf) {
+                        Ok(Some((frame, used))) => {
+                            buf.drain(..used);
+                            let _ = inbox.send(NetEnvelope {
+                                from: frame.from,
+                                instance: frame.instance as usize,
+                                sent_at_tick: frame.sent_at_tick,
+                                sent_event: frame.sent_event,
+                                msg: frame.msg,
+                            });
+                        }
+                        Ok(None) => break,
+                        // A poisoned stream cannot be resynchronised;
+                        // the sender will reconnect and resend.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// A booted socket cluster: listeners, proxies, links, and node
+/// threads running, ready to be driven by a monitor loop — the socket
+/// counterpart of the runtime's `ClusterCore`, and a
+/// [`Supervisable`] for the shared [`supervise`](rtc_runtime::supervise)
+/// loop.
+pub struct NetClusterCore<A: Recoverable + Send + 'static>
+where
+    A::Msg: Wire + Send + 'static,
+{
+    shared: Arc<NetShared<A>>,
+    inbox_rx: Vec<SharedInbox<A::Msg>>,
+    node_handles: Vec<thread::JoinHandle<()>>,
+    link_handles: Vec<thread::JoinHandle<()>>,
+    acceptor_handles: Vec<thread::JoinHandle<()>>,
+    proxies: Vec<FaultProxy>,
+    start: Instant,
+}
+
+impl<A: Recoverable + Send + 'static> std::fmt::Debug for NetClusterCore<A>
+where
+    A::Msg: Wire + Send + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClusterCore")
+            .field("nodes", &self.inbox_rx.len())
+            .field("instances", &self.shared.instances)
+            .finish()
+    }
+}
+
+impl<A> NetClusterCore<A>
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Wire + Send + 'static,
+{
+    /// Binds listeners, interposes proxies when the plan carries
+    /// network faults, spawns links, readers, and the first incarnation
+    /// of every node.
+    ///
+    /// `instances[k]` is the population of commit instance `k` (all the
+    /// same length `n`, in processor order); `seeds[k]` is instance
+    /// `k`'s seed collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `instances` is empty or ragged, when `seeds` does
+    /// not match it, or when a localhost socket cannot be bound (the
+    /// substrate cannot exist without its sockets).
+    pub fn boot(
+        instances: Vec<Vec<A>>,
+        seeds: Vec<SeedCollection>,
+        faults: FaultPlan,
+        opts: &NetOptions,
+    ) -> NetClusterCore<A> {
+        let m = instances.len();
+        assert!(m > 0, "need at least one commit instance");
+        assert_eq!(seeds.len(), m, "one seed collection per instance");
+        let n = instances[0].len();
+        assert!(n > 0, "cluster needs at least one processor");
+        assert!(
+            instances.iter().all(|pop| pop.len() == n),
+            "all instances must share the population size"
+        );
+        let start = Instant::now();
+        let done = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+
+        // Real listeners, one per node.
+        let mut listeners = Vec::with_capacity(n);
+        let mut real_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind node listener on localhost");
+            l.set_nonblocking(true).expect("nonblocking listener");
+            real_addrs.push(l.local_addr().expect("listener address"));
+            listeners.push(l);
+        }
+
+        // Fault proxies, when the plan has anything for them to do.
+        let needs_proxy = faults.delay != DelayModel::None
+            || !faults.outages.is_empty()
+            || !faults.partitions.is_empty()
+            || faults.duplicate_permille > 0
+            || faults.reorder_permille > 0
+            || faults.reset_permille > 0;
+        let mut proxies = Vec::new();
+        let mut peer_addrs = real_addrs.clone();
+        if needs_proxy {
+            for (j, upstream) in real_addrs.iter().enumerate() {
+                let proxy = FaultProxy::spawn(
+                    ProcessorId::new(j),
+                    *upstream,
+                    faults.clone(),
+                    opts.tick,
+                    opts.io_deadline,
+                    seeds[0].master() ^ (0xFA157 + j as u64),
+                    start,
+                    Arc::clone(&done),
+                    Arc::clone(&counters),
+                )
+                .expect("spawn fault proxy on localhost");
+                peer_addrs[j] = proxy.addr;
+                proxies.push(proxy);
+            }
+        }
+
+        // Inboxes and their feeding acceptors.
+        let mut inbox_tx = Vec::with_capacity(n);
+        let mut inbox_rx: Vec<SharedInbox<A::Msg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<NetEnvelope<A::Msg>>();
+            inbox_tx.push(tx);
+            inbox_rx.push(Arc::new(Mutex::new(rx)));
+        }
+        let mut acceptor_handles = Vec::with_capacity(n);
+        for (listener, tx) in listeners.into_iter().zip(&inbox_tx) {
+            acceptor_handles.push(spawn_acceptor(listener, tx.clone(), Arc::clone(&done)));
+        }
+
+        // The n×n link mesh.
+        let mut links: Vec<Vec<Sender<Vec<u8>>>> = Vec::with_capacity(n);
+        let mut link_handles = Vec::with_capacity(n * n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for (j, addr) in peer_addrs.iter().enumerate() {
+                let (tx, rx) = unbounded::<Vec<u8>>();
+                link_handles.push(spawn_link(
+                    *addr,
+                    rx,
+                    opts.reconnect,
+                    opts.connect_deadline,
+                    opts.io_deadline,
+                    Arc::clone(&done),
+                    Arc::clone(&counters),
+                    opts.reconnect.seed ^ ((i as u64) << 32) ^ j as u64,
+                ));
+                row.push(tx);
+            }
+            links.push(row);
+        }
+
+        let init_snaps: Vec<Vec<A::Snapshot>> = (0..n)
+            .map(|i| instances.iter().map(|pop| pop[i].snapshot()).collect())
+            .collect();
+        let shared = Arc::new(NetShared::<A> {
+            instances: m,
+            statuses: Mutex::new(vec![vec![Status::Undecided; n]; m]),
+            steps: Mutex::new(vec![0; n]),
+            done: Arc::clone(&done),
+            messages: (0..m).map(|_| AtomicU64::new(0)).collect(),
+            link_delays: Mutex::new(vec![Vec::new(); m]),
+            crash_snaps: Mutex::new(vec![(0..m).map(|_| None).collect(); n]),
+            init_snaps: Mutex::new(init_snaps),
+            down: Mutex::new(vec![false; n]),
+            ever_crashed: Mutex::new(vec![false; n]),
+            seeds,
+            plan: faults,
+            tick: opts.tick,
+            max_steps: opts.max_steps,
+            events: AtomicU64::new(0),
+            delivery_ids: AtomicU64::new(0),
+            lateness: Mutex::new(LatenessMonitor::new(
+                n,
+                rtc_model::TimingParams::default().k(),
+            )),
+            links,
+            counters,
+        });
+
+        // Transpose instances[k][i] into per-node automata and spawn
+        // first incarnations.
+        let mut per_node: Vec<Vec<A>> = (0..n).map(|_| Vec::with_capacity(m)).collect();
+        for pop in instances {
+            for (i, auto) in pop.into_iter().enumerate() {
+                per_node[i].push(auto);
+            }
+        }
+        let mut node_handles = Vec::with_capacity(n);
+        for (i, autos) in per_node.into_iter().enumerate() {
+            let crash_at = shared.plan.crash_step(ProcessorId::new(i));
+            node_handles.push(spawn_net_node(
+                Arc::clone(&shared),
+                i,
+                Arc::clone(&inbox_rx[i]),
+                NetBoot::Fresh { autos, crash_at },
+            ));
+        }
+
+        NetClusterCore {
+            shared,
+            inbox_rx,
+            node_handles,
+            link_handles,
+            acceptor_handles,
+            proxies,
+            start,
+        }
+    }
+
+    /// Overrides the lateness threshold `K` the monitor classifies
+    /// deliveries against (defaults to
+    /// [`TimingParams::default`](rtc_model::TimingParams)'s `K`). Call
+    /// right after boot, before traffic flows.
+    pub fn set_lateness_k(&self, k: u64) {
+        let n = self.inbox_rx.len();
+        *self.shared.lateness.lock() = LatenessMonitor::new(n, k);
+    }
+
+    /// Respawns a down node, from its crash snapshots or amnesiac.
+    pub fn respawn_node(&mut self, idx: usize, from_snapshot: bool) {
+        self.shared.down.lock()[idx] = false;
+        self.node_handles.push(spawn_net_node(
+            Arc::clone(&self.shared),
+            idx,
+            Arc::clone(&self.inbox_rx[idx]),
+            NetBoot::Restart { from_snapshot },
+        ));
+    }
+
+    /// Whether every node that is not currently down holds a decision
+    /// in every instance.
+    pub fn all_owing_decided(&self) -> bool {
+        let st = self.shared.statuses.lock();
+        let down = self.shared.down.lock();
+        (0..down.len()).all(|i| down[i] || st.iter().all(|inst| inst[i].is_decided()))
+    }
+
+    /// Stops every thread and assembles the report.
+    pub fn finish(self, recovered: Vec<bool>, decided_in_time: bool) -> NetReport {
+        self.shared.done.store(true, Ordering::Relaxed);
+        for h in self.node_handles {
+            let _ = h.join();
+        }
+        for h in self.link_handles {
+            let _ = h.join();
+        }
+        let mut undelivered: u64 = 0;
+        for p in self.proxies {
+            undelivered += p.finish();
+        }
+        for h in self.acceptor_handles {
+            let _ = h.join();
+        }
+        let c = &self.shared.counters;
+        undelivered += c.frames_dropped.load(Ordering::Relaxed);
+
+        let statuses = self.shared.statuses.lock().clone();
+        let steps = self.shared.steps.lock().clone();
+        let crashed = self.shared.ever_crashed.lock().clone();
+        let down = self.shared.down.lock().clone();
+        let link_delays = self.shared.link_delays.lock().clone();
+        let wall = self.start.elapsed();
+        let mon = self.shared.lateness.lock();
+        let stats = NetRunStats {
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            frames_dropped: c.frames_dropped.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
+            links_given_up: c.links_given_up.load(Ordering::Relaxed),
+            resets_injected: c.resets_injected.load(Ordering::Relaxed),
+            deliveries: mon.delivered(),
+            late_deliveries: mon.late_count(),
+        };
+        let instances = statuses
+            .into_iter()
+            .enumerate()
+            .map(|(k, inst_statuses)| {
+                // A node still down at the end owes nothing *iff* it
+                // was never recovered; `all_nonfaulty_decided` reads
+                // crashed/recovered, which are process-level here.
+                let inst_decided = inst_statuses
+                    .iter()
+                    .zip(&down)
+                    .all(|(s, d)| *d || s.is_decided());
+                ClusterReport {
+                    statuses: inst_statuses,
+                    steps: steps.clone(),
+                    crashed: crashed.clone(),
+                    recovered: recovered.clone(),
+                    messages_sent: self.shared.messages[k].load(Ordering::Relaxed),
+                    messages_undelivered: undelivered,
+                    wall,
+                    decided_in_time: decided_in_time && inst_decided,
+                    link_delays: link_delays[k].clone(),
+                }
+            })
+            .collect();
+        NetReport { instances, stats }
+    }
+}
+
+impl<A> Supervisable for NetClusterCore<A>
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Wire + Send + 'static,
+{
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn down(&self) -> Vec<bool> {
+        self.shared.down.lock().clone()
+    }
+
+    fn all_done(&self, permanent: &[bool]) -> bool {
+        let st = self.shared.statuses.lock();
+        let down = self.shared.down.lock();
+        (0..down.len())
+            .all(|i| permanent[i] || (!down[i] && st.iter().all(|inst| inst[i].is_decided())))
+    }
+
+    fn respawn(&mut self, idx: usize, from_snapshot: bool) {
+        NetClusterCore::respawn_node(self, idx, from_snapshot);
+    }
+}
+
+/// Runs `m` commit instances over real sockets, honouring the fault
+/// plan's scripted crashes *and restarts* — the socket counterpart of
+/// `run_cluster_recoverable`.
+///
+/// `instances[k]` is instance `k`'s population in processor order;
+/// `seeds[k]` its seed collection. Network faults in the plan are
+/// applied by per-node proxies to real frames; crashes take down the
+/// node process-wide (all instances at once), restarts revive it.
+pub fn run_net_cluster<A>(
+    instances: Vec<Vec<A>>,
+    seeds: Vec<SeedCollection>,
+    faults: FaultPlan,
+    opts: NetOptions,
+) -> NetReport
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Wire + Send + 'static,
+{
+    let n = instances[0].len();
+    let mut core = NetClusterCore::boot(instances, seeds, faults.clone(), &opts);
+
+    let mut pending = faults.restarts;
+    pending.sort_by_key(|r| r.at);
+    let mut recovered = vec![false; n];
+    let mut decided_in_time = false;
+    while core.start.elapsed() < opts.wall_timeout {
+        let now = core.start.elapsed();
+        let mut i = 0;
+        while i < pending.len() {
+            let r = pending[i];
+            let idx = r.victim.index();
+            // A restart fires at its offset or at the victim's actual
+            // crash, whichever is later.
+            if now >= r.at && core.shared.down.lock()[idx] {
+                core.respawn_node(idx, r.from_snapshot);
+                recovered[idx] = true;
+                pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if pending.is_empty() && core.all_owing_decided() {
+            decided_in_time = true;
+            break;
+        }
+        thread::sleep(opts.tick);
+    }
+    core.finish(recovered, decided_in_time)
+}
+
+/// Runs `m` commit instances over real sockets under the shared
+/// self-healing [`supervise`](rtc_runtime::supervise) loop: scripted
+/// restarts in the plan are ignored — the supervisor owns recovery —
+/// and `t` classifies cluster health exactly as on the channel
+/// substrate.
+pub fn run_net_supervised<A>(
+    instances: Vec<Vec<A>>,
+    seeds: Vec<SeedCollection>,
+    faults: FaultPlan,
+    opts: NetOptions,
+    t: usize,
+    policy: SupervisorPolicy,
+) -> (NetReport, SupervisorReport)
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Wire + Send + 'static,
+{
+    let n = instances[0].len();
+    let mut faults = faults;
+    faults.restarts.clear();
+    let mut core = NetClusterCore::boot(instances, seeds, faults, &opts);
+    let (sup, recovered, decided_in_time) =
+        rtc_runtime::supervise(&mut core, n, t, policy, opts.wall_timeout, opts.tick);
+    let report = core.finish(recovered, decided_in_time);
+    (report, sup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtc_core::{commit_population, CommitConfig};
+    use rtc_model::{Decision, TimingParams, Value};
+
+    fn cfg(n: usize) -> CommitConfig {
+        CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+    }
+
+    fn opts() -> NetOptions {
+        let mut o = NetOptions::derived(Duration::from_millis(1), TimingParams::default());
+        o.wall_timeout = Duration::from_secs(30);
+        o
+    }
+
+    #[test]
+    fn unanimous_commit_decides_over_real_sockets() {
+        let c = cfg(3);
+        let report = run_net_cluster(
+            vec![commit_population(c, &[Value::One; 3])],
+            vec![SeedCollection::new(11)],
+            FaultPlan::none(),
+            opts(),
+        );
+        let inst = &report.instances[0];
+        assert!(inst.decided_in_time, "run timed out: {report:?}");
+        assert!(inst
+            .statuses
+            .iter()
+            .all(|s| s.decision() == Some(Decision::Commit)));
+        assert!(report.stats.frames_sent > 0);
+        assert_eq!(report.stats.links_given_up, 0);
+    }
+
+    #[test]
+    fn multiplexed_instances_decide_independently() {
+        let c = cfg(3);
+        // Instance 0 is unanimous commit; instance 1 carries an abort
+        // vote. Both ride the same connection mesh.
+        let mut votes1 = vec![Value::One; 3];
+        votes1[2] = Value::Zero;
+        let report = run_net_cluster(
+            vec![
+                commit_population(c, &[Value::One; 3]),
+                commit_population(c, &votes1),
+            ],
+            vec![SeedCollection::new(21), SeedCollection::new(22)],
+            FaultPlan::none(),
+            opts(),
+        );
+        assert!(report.all_decided(), "{report:?}");
+        assert!(report.agreement_holds());
+        assert!(report.instances[0]
+            .statuses
+            .iter()
+            .all(|s| s.decision() == Some(Decision::Commit)));
+        assert!(report.instances[1]
+            .statuses
+            .iter()
+            .all(|s| s.decision() == Some(Decision::Abort)));
+    }
+
+    #[test]
+    fn proxied_faults_preserve_agreement_and_count_resets() {
+        let c = cfg(3);
+        let plan = FaultPlan::none()
+            .with_duplication(300)
+            .with_reordering(300)
+            .with_resets(150);
+        plan.validate(3, c.fault_bound()).unwrap();
+        let report = run_net_cluster(
+            vec![commit_population(c, &[Value::One; 3])],
+            vec![SeedCollection::new(31)],
+            plan,
+            opts(),
+        );
+        assert!(report.all_decided(), "{report:?}");
+        assert!(report.agreement_holds());
+        assert!(
+            report.stats.resets_injected > 0,
+            "15% reset rate must fire at least once: {:?}",
+            report.stats
+        );
+        assert_eq!(report.stats.links_given_up, 0);
+    }
+
+    #[test]
+    fn scripted_crash_and_restart_rejoins_over_sockets() {
+        let c = cfg(3); // t = 1
+        let plan = FaultPlan::none()
+            .with_crash(ProcessorId::new(2), 4)
+            .with_restart(ProcessorId::new(2), Duration::from_millis(40), true);
+        plan.validate(3, c.fault_bound()).unwrap();
+        let report = run_net_cluster(
+            vec![commit_population(c, &[Value::One; 3])],
+            vec![SeedCollection::new(41)],
+            plan,
+            opts(),
+        );
+        let inst = &report.instances[0];
+        assert!(inst.decided_in_time, "{report:?}");
+        assert!(inst.crashed[2] && inst.recovered[2]);
+        assert!(inst.statuses[2].is_decided(), "{report:?}");
+        assert!(inst.agreement_holds());
+    }
+
+    #[test]
+    fn supervised_socket_cluster_heals_a_crash() {
+        let c = cfg(3); // t = 1
+        let plan = FaultPlan::none().with_crash(ProcessorId::new(1), 3);
+        let (report, sup) = run_net_supervised(
+            vec![commit_population(c, &[Value::One; 3])],
+            vec![SeedCollection::new(51)],
+            plan,
+            opts(),
+            c.fault_bound(),
+            SupervisorPolicy::default(),
+        );
+        let inst = &report.instances[0];
+        assert!(inst.decided_in_time, "{report:?}\n{sup:?}");
+        assert!(inst.statuses[1].is_decided());
+        assert!(inst.agreement_holds());
+        assert!(sup.restarts[1] >= 1, "victim should have been restarted");
+        assert!(!sup.permanent_failures.iter().any(|p| *p));
+    }
+
+    #[test]
+    fn partition_heal_lets_buffered_frames_flow() {
+        let c = cfg(3);
+        // Cut {p0} | {p1, p2} for 3 ticks — well inside the 2K = 8 tick
+        // vote timeout — then heal; the run must still commit.
+        let plan = FaultPlan::none().with_partition(
+            vec![0, 1, 1],
+            Duration::ZERO,
+            Duration::from_millis(3),
+        );
+        let report = run_net_cluster(
+            vec![commit_population(c, &[Value::One; 3])],
+            vec![SeedCollection::new(61)],
+            plan,
+            opts(),
+        );
+        let inst = &report.instances[0];
+        assert!(inst.decided_in_time, "{report:?}");
+        assert!(inst.agreement_holds());
+    }
+}

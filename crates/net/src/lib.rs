@@ -1,0 +1,52 @@
+//! The socket substrate: the same protocol automata over real TCP.
+//!
+//! The workspace runs the Coan–Lundelius commit protocol on three
+//! interchangeable substrates. The discrete-event simulator (`rtc-sim`)
+//! gives adversarial control, the threaded runtime (`rtc-runtime`)
+//! gives real time over in-process channels, and this crate closes the
+//! gap to a deployment: every node listens on a localhost TCP socket,
+//! every link is a real connection with length-prefixed frames, and
+//! every connection can fail independently of the process behind it.
+//!
+//! What the sockets add that channels cannot model:
+//!
+//! * **Connection faults.** A link can be reset under the protocol; the
+//!   sender runs a bounded reconnect loop (exponential backoff with
+//!   seeded jitter, borrowed from the supervisor's
+//!   [`SupervisorPolicy::backoff`](rtc_runtime::SupervisorPolicy::backoff)
+//!   formula) and marks the peer down when its retry budget runs out.
+//! * **Deadline-bounded I/O.** Every connect, read, and write carries a
+//!   deadline derived from the model's timing constants
+//!   (`tick × 8K`, the failure-free decision bound) instead of blocking
+//!   forever — see [`NetOptions::derived`].
+//! * **A per-link fault proxy.** When the
+//!   [`FaultPlan`](rtc_runtime::FaultPlan) carries network faults, each
+//!   node's inbound traffic is routed through a fault proxy that applies
+//!   the same fault vocabulary as the runtime — partitions that heal,
+//!   delay spikes, duplication, reordering — plus the socket-only
+//!   connection reset, by intercepting real frames on a real listener.
+//!
+//! Many commit instances multiplex over one connection mesh: frames
+//! carry an instance tag, and each node steps every instance once per
+//! tick. Deliveries feed the simulator's online
+//! [`LatenessMonitor`](rtc_sim::LatenessMonitor), so a socket run
+//! reports the paper's on-time/late classification exactly, not an
+//! approximation. Supervised runs reuse the runtime's generic
+//! [`supervise`](rtc_runtime::supervise) loop via
+//! [`Supervisable`](rtc_runtime::Supervisable).
+//!
+//! Entry points: [`run_net_cluster`] (scripted restarts) and
+//! [`run_net_supervised`] (reactive supervisor).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod options;
+mod peer;
+mod proxy;
+mod wire;
+
+pub use cluster::{run_net_cluster, run_net_supervised, NetClusterCore, NetReport, NetRunStats};
+pub use options::NetOptions;
+pub use wire::{encode_frame, try_decode_frame, Frame, Wire, WireError, HEADER, MAX_FRAME};

@@ -1,0 +1,384 @@
+//! Outbound links: one sender thread per (source, destination) pair.
+//!
+//! A link owns a lazily-established TCP connection to its peer's
+//! listener (or to the peer's fault proxy, when one is interposed).
+//! Writes carry a deadline; a failed write or connect sends the link
+//! through a bounded reconnect loop paced by the supervisor's backoff
+//! formula. Only when the retry budget is exhausted is the peer marked
+//! down and its traffic dropped (and counted: those frames surface as
+//! `messages_undelivered`).
+//!
+//! # At-least-once delivery
+//!
+//! TCP cannot tell a sender about a peer's close until after the fact:
+//! the first write after a FIN lands in a dead socket and only the
+//! *next* write errors, so a connection reset could silently eat the
+//! frames in that window. The link therefore keeps a ring of the last
+//! [`RESEND_WINDOW`] frames it wrote and replays the whole ring after
+//! every reconnect. Frames may arrive more than once — never zero
+//! times. That is exactly the contract the automata already honour for
+//! the duplication fault, so at-least-once is free at the protocol
+//! layer, and it preserves the model's eventual delivery across
+//! resets.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rtc_runtime::SupervisorPolicy;
+
+/// Socket-layer counters shared by every link and proxy of a run.
+#[derive(Debug, Default)]
+pub(crate) struct NetCounters {
+    /// Frames successfully written to a socket by link senders.
+    pub(crate) frames_sent: AtomicU64,
+    /// Frames dropped because their link had given up.
+    pub(crate) frames_dropped: AtomicU64,
+    /// Successful re-establishments of a previously broken connection.
+    pub(crate) reconnects: AtomicU64,
+    /// Links that exhausted their retry budget and marked the peer down.
+    pub(crate) links_given_up: AtomicU64,
+    /// Connection resets injected by fault proxies.
+    pub(crate) resets_injected: AtomicU64,
+}
+
+/// How many recently-written frames a link retains for replay after a
+/// reconnect. The loss window of an undetected reset is the handful of
+/// frames written between the peer's FIN and the first failing write —
+/// on loopback with tick-paced traffic that is one or two frames, so a
+/// small ring amply covers it.
+const RESEND_WINDOW: usize = 16;
+
+/// Sleeps for `total` in small slices, bailing out early when `done`
+/// flips — a link mid-backoff must not stall teardown.
+fn sleep_unless_done(total: Duration, done: &AtomicBool) {
+    const SLICE: Duration = Duration::from_millis(2);
+    let mut remaining = total;
+    while !remaining.is_zero() && !done.load(Ordering::Relaxed) {
+        let nap = remaining.min(SLICE);
+        thread::sleep(nap);
+        remaining -= nap;
+    }
+}
+
+/// Checks whether the kernel has already seen the peer close this
+/// connection. The first write after a FIN succeeds into a dead socket
+/// and the frame silently vanishes; a zero-cost non-blocking read
+/// surfaces the FIN (`Ok(0)`) or reset *before* the write instead. The
+/// link never expects inbound data, so anything readable other than
+/// `WouldBlock` means the connection is no longer a usable link.
+fn probe_alive(conn: &TcpStream) -> bool {
+    if conn.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut byte = [0u8; 1];
+    let alive = match (&mut (&*conn)).read(&mut byte) {
+        Ok(0) => false,
+        Ok(_) => true, // stray inbound byte on a send-only link
+        Err(e) if e.kind() == ErrorKind::WouldBlock => true,
+        Err(_) => false,
+    };
+    alive && conn.set_nonblocking(false).is_ok()
+}
+
+/// The mutable state of one link's sender thread.
+struct LinkState {
+    addr: SocketAddr,
+    policy: SupervisorPolicy,
+    connect_deadline: Duration,
+    io_deadline: Duration,
+    done: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    rng: SmallRng,
+    stream: Option<TcpStream>,
+    /// Consecutive connect/write failures since the last successful
+    /// write; `> max_retries` marks the peer down for good.
+    failures: u32,
+    given_up: bool,
+    ever_connected: bool,
+    /// Replay ring for at-least-once delivery (module docs).
+    recent: VecDeque<Vec<u8>>,
+    /// Whether the next (re)connect must replay the ring: set when a
+    /// write failed or an idle probe found the connection dead, i.e.
+    /// frames may sit in a dead socket's buffer.
+    replay: bool,
+}
+
+impl LinkState {
+    /// Delivers `frame` (or, with `None`, just flushes a pending ring
+    /// replay) or dies trying within the retry budget. Frames are only
+    /// released on a successful write.
+    fn deliver(&mut self, frame: Option<Vec<u8>>) -> DeliverOutcome {
+        loop {
+            if self.done.load(Ordering::Relaxed) {
+                // Teardown won the race; the frame would arrive after
+                // every node stopped listening.
+                if frame.is_some() {
+                    self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                return DeliverOutcome::Teardown;
+            }
+            if self.stream.is_none() {
+                match TcpStream::connect_timeout(&self.addr, self.connect_deadline) {
+                    Ok(s) => {
+                        // Deadline every write: a wedged peer must
+                        // surface as an error, not a hang.
+                        let _ = s.set_write_timeout(Some(self.io_deadline));
+                        let _ = s.set_nodelay(true);
+                        if self.ever_connected {
+                            self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.ever_connected = true;
+                        self.stream = Some(s);
+                    }
+                    Err(_) => {
+                        if self.fail(frame.is_some()) {
+                            return DeliverOutcome::GaveUp;
+                        }
+                        continue;
+                    }
+                }
+            }
+            let conn = self.stream.as_mut().expect("connected above");
+            let wrote = probe_alive(conn) && {
+                let ring_ok = if self.replay {
+                    // A write failed (or an idle probe saw a FIN):
+                    // frames near the failure may be lost in the old
+                    // socket. Replay the ring first (duplicates are
+                    // protocol-safe).
+                    self.recent.iter().all(|f| conn.write_all(f).is_ok())
+                } else {
+                    true
+                };
+                ring_ok
+                    && match &frame {
+                        Some(f) => conn.write_all(f).is_ok(),
+                        None => true,
+                    }
+            };
+            if wrote {
+                self.failures = 0;
+                self.replay = false;
+                if let Some(f) = frame {
+                    self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    if self.recent.len() == RESEND_WINDOW {
+                        self.recent.pop_front();
+                    }
+                    self.recent.push_back(f);
+                }
+                return DeliverOutcome::Sent;
+            }
+            // Broken or reset connection: reconnect, replay, resend.
+            self.stream = None;
+            self.replay = true;
+            if self.fail(frame.is_some()) {
+                return DeliverOutcome::GaveUp;
+            }
+        }
+    }
+
+    /// Books one failure; returns `true` when the budget is exhausted
+    /// (the peer is marked down for good), otherwise backs off.
+    fn fail(&mut self, drops_frame: bool) -> bool {
+        self.failures += 1;
+        if self.failures > self.policy.max_retries {
+            self.given_up = true;
+            self.counters.links_given_up.fetch_add(1, Ordering::Relaxed);
+            if drops_frame {
+                self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            return true;
+        }
+        sleep_unless_done(
+            self.policy.backoff(self.failures - 1, &mut self.rng),
+            &self.done,
+        );
+        false
+    }
+}
+
+enum DeliverOutcome {
+    Sent,
+    GaveUp,
+    Teardown,
+}
+
+/// Spawns the sender thread for one link. Frames arrive pre-encoded on
+/// `rx`; `seed` keys the backoff jitter so two links never thunder in
+/// lockstep after a shared outage.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_link(
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+    policy: SupervisorPolicy,
+    connect_deadline: Duration,
+    io_deadline: Duration,
+    done: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    seed: u64,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let mut link = LinkState {
+            addr,
+            policy,
+            connect_deadline,
+            io_deadline,
+            done: Arc::clone(&done),
+            counters: Arc::clone(&counters),
+            rng: SmallRng::seed_from_u64(seed),
+            stream: None,
+            failures: 0,
+            given_up: false,
+            ever_connected: false,
+            recent: VecDeque::with_capacity(RESEND_WINDOW),
+            replay: false,
+        };
+        loop {
+            let frame = match rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(f) => f,
+                Err(RecvTimeoutError::Timeout) => {
+                    if done.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Idle probe: a reset can eat frames already
+                    // written into a dead socket, and if the automaton
+                    // has gone quiet there is no next write to trigger
+                    // the replay. Surface the FIN now and replay the
+                    // ring, so tail frames (a node's final decision
+                    // broadcast) are never lost for good.
+                    if !link.given_up && !link.recent.is_empty() {
+                        if let Some(conn) = link.stream.as_ref() {
+                            if !probe_alive(conn) {
+                                link.stream = None;
+                                link.replay = true;
+                            }
+                        }
+                        if link.replay {
+                            let _ = link.deliver(None);
+                        }
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            if link.given_up {
+                counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match link.deliver(Some(frame)) {
+                DeliverOutcome::Teardown => return,
+                DeliverOutcome::Sent | DeliverOutcome::GaveUp => {}
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            max_retries: 3,
+            jitter_permille: 0,
+            from_snapshot: true,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn frames_survive_a_connection_reset() {
+        // rtc-allow(socket-deadline): test-only accept/read harness
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (tx, rx) = unbounded();
+        let done = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let handle = spawn_link(
+            addr,
+            rx,
+            policy(),
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            Arc::clone(&done),
+            Arc::clone(&counters),
+            7,
+        );
+
+        tx.send(vec![1, 2, 3]).expect("send");
+        // Accept the first connection, read its bytes, then slam it shut.
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 3];
+        conn.read_exact(&mut buf).expect("first frame");
+        assert_eq!(buf, [1, 2, 3]);
+        drop(conn);
+        // Give the FIN time to reach the sender's kernel so the probe
+        // sees it deterministically.
+        thread::sleep(Duration::from_millis(30));
+
+        // The next frame must arrive over a fresh connection, preceded
+        // by the replay of the ring (at-least-once, never zero-times).
+        tx.send(vec![4, 5, 6, 7]).expect("send");
+        let (mut conn, _) = listener.accept().expect("re-accept");
+        let mut buf = [0u8; 7];
+        conn.read_exact(&mut buf)
+            .expect("replayed ring + second frame");
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7]);
+
+        done.store(true, Ordering::Relaxed);
+        handle.join().expect("join");
+        assert_eq!(counters.frames_sent.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.frames_dropped.load(Ordering::Relaxed), 0);
+        assert_eq!(counters.reconnects.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dead_peer_exhausts_the_budget_and_is_marked_down() {
+        // Bind-then-drop yields an address that refuses connections.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let (tx, rx) = unbounded();
+        let done = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let handle = spawn_link(
+            addr,
+            rx,
+            policy(),
+            Duration::from_millis(20),
+            Duration::from_millis(20),
+            Arc::clone(&done),
+            Arc::clone(&counters),
+            8,
+        );
+        tx.send(vec![9]).expect("send");
+        tx.send(vec![10]).expect("send");
+        // Wait for the budget (3 retries × ≤4ms backoff, plus connect
+        // latency) to run out, then stop the link.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counters.links_given_up.load(Ordering::Relaxed) == 0
+            && std::time::Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(5));
+        }
+        done.store(true, Ordering::Relaxed);
+        handle.join().expect("join");
+        assert_eq!(counters.links_given_up.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.frames_sent.load(Ordering::Relaxed), 0);
+        // Both frames are accounted as dropped, not lost silently.
+        assert_eq!(counters.frames_dropped.load(Ordering::Relaxed), 2);
+    }
+}

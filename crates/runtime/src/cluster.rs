@@ -56,8 +56,8 @@ impl ClusterOptions {
     /// Options whose wall timeout is derived from the timing constants
     /// instead of hardcoded: one failure-free decision takes at most
     /// [`TimingParams::failure_free_decision_bound`] (`8K`) ticks of
-    /// wall clock, and the timeout budgets [`Self::WALL_WINDOWS`] such
-    /// windows plus a fixed [`Self::WALL_MARGIN`]. See
+    /// wall clock, and the timeout budgets `WALL_WINDOWS` such
+    /// windows plus a fixed `WALL_MARGIN`. See
     /// `docs/MODEL.md` for the rationale.
     pub fn derived(tick: Duration, timing: TimingParams) -> ClusterOptions {
         let window = tick * u32::try_from(timing.failure_free_decision_bound()).unwrap_or(u32::MAX);

@@ -226,6 +226,15 @@ pub struct FaultPlan {
     /// extra one-to-three ticks, letting later traffic overtake it —
     /// the runtime's reordering fault.
     pub reorder_permille: u32,
+    /// Probability (in thousandths) that a link connection is torn down
+    /// after carrying a message, forcing the sender through its
+    /// reconnect/backoff path. Only the socket substrate (`rtc-net`)
+    /// has connections to reset; the channel-based runtime ignores this
+    /// knob (its links cannot fail independently of the process).
+    /// Resets are clean (frame-boundary FIN, not mid-frame RST), so
+    /// eventual delivery is preserved: every frame accepted before the
+    /// reset is still forwarded.
+    pub reset_permille: u32,
     /// Acknowledges that the plan may exceed the fault bound `t`.
     /// Degraded plans exercise Theorem 11 territory: safety must still
     /// hold, but termination is only owed after enough restarts.
@@ -242,6 +251,7 @@ impl Default for FaultPlan {
             partitions: Vec::new(),
             duplicate_permille: 0,
             reorder_permille: 0,
+            reset_permille: 0,
             degraded: false,
         }
     }
@@ -327,6 +337,15 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the probability (in thousandths) of a connection reset
+    /// after a carried message (socket substrate only; see
+    /// [`FaultPlan::reset_permille`]).
+    #[must_use]
+    pub fn with_resets(mut self, permille: u32) -> FaultPlan {
+        self.reset_permille = permille;
+        self
+    }
+
     /// Marks the plan as intentionally degraded (more than `t` crashes
     /// allowed); see [`FaultPlan::degraded`].
     #[must_use]
@@ -375,7 +394,11 @@ impl FaultPlan {
                 });
             }
         }
-        for permille in [self.duplicate_permille, self.reorder_permille] {
+        for permille in [
+            self.duplicate_permille,
+            self.reorder_permille,
+            self.reset_permille,
+        ] {
             if permille > 1000 {
                 return Err(FaultPlanError::PermilleOutOfRange(permille));
             }
@@ -586,6 +609,11 @@ mod tests {
             hot.validate(5, 2),
             Err(FaultPlanError::PermilleOutOfRange(1001))
         );
+        let torn = FaultPlan::none().with_resets(2000);
+        assert_eq!(
+            torn.validate(5, 2),
+            Err(FaultPlanError::PermilleOutOfRange(2000))
+        );
         let ok = FaultPlan::none()
             .with_partition(
                 vec![0, 0, 1, 1, 0],
@@ -593,7 +621,8 @@ mod tests {
                 Duration::from_millis(5),
             )
             .with_duplication(50)
-            .with_reordering(100);
+            .with_reordering(100)
+            .with_resets(80);
         assert_eq!(ok.validate(5, 2), Ok(()));
     }
 

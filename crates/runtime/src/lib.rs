@@ -22,4 +22,7 @@ pub use fault::{
     CrashAt, DelayModel, FaultPlan, FaultPlanError, LinkOutage, NetPartition, RestartAt,
 };
 pub use recovery::run_cluster_recoverable;
-pub use supervisor::{run_cluster_supervised, ClusterHealth, SupervisorPolicy, SupervisorReport};
+pub use supervisor::{
+    run_cluster_supervised, supervise, ClusterHealth, Supervisable, SupervisorPolicy,
+    SupervisorReport,
+};

@@ -13,6 +13,12 @@
 //! steps); what is no longer scripted is the *response*. This mirrors how
 //! a deployment supervisor (systemd, a k8s kubelet) relates to the chaos
 //! that hits it.
+//!
+//! The supervision loop itself is substrate-neutral: anything that can
+//! report which nodes are down and respawn them — the channel cluster
+//! here, the socket cluster in `rtc-net` — implements [`Supervisable`]
+//! and is driven by [`supervise`]. One loop, one backoff policy, one
+//! health classification, regardless of what the links are made of.
 
 use std::time::Duration;
 
@@ -59,6 +65,24 @@ impl Default for SupervisorPolicy {
     }
 }
 
+impl SupervisorPolicy {
+    /// The delay before restart attempt number `attempt` (0-based):
+    /// `min(base_backoff * 2^attempt, max_backoff)` plus seeded jitter
+    /// of up to `jitter_permille`/1000 of the backoff. The same formula
+    /// paces peer reconnects in the socket substrate, so one knob set
+    /// governs both recovery paths.
+    pub fn backoff(&self, attempt: u32, rng: &mut SmallRng) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.min(20));
+        let backoff = exp.min(self.max_backoff);
+        let jitter = if self.jitter_permille == 0 {
+            Duration::ZERO
+        } else {
+            backoff.mul_f64(f64::from(rng.gen_range(0..=self.jitter_permille)) / 1000.0)
+        };
+        backoff + jitter
+    }
+}
+
 /// Cluster health as the supervisor classifies it, against the fault
 /// tolerance `t` the protocol was instantiated with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +98,28 @@ pub enum ClusterHealth {
     /// More than `t` nodes are down at once; progress is not guaranteed
     /// until restarts bring the cluster back within tolerance.
     Stalled,
+}
+
+impl ClusterHealth {
+    /// Classifies a population where `down[i]` marks nodes currently
+    /// crashed and `permanent[i]` nodes given up on, against fault
+    /// bound `t`.
+    pub fn classify(down: &[bool], permanent: &[bool], t: usize) -> ClusterHealth {
+        let down_count = down
+            .iter()
+            .zip(permanent)
+            .filter(|(d, p)| **d || **p)
+            .count();
+        if down_count == 0 {
+            ClusterHealth::Healthy
+        } else if down_count <= t {
+            ClusterHealth::Degraded {
+                quorum_margin: t - down_count,
+            }
+        } else {
+            ClusterHealth::Stalled
+        }
+    }
 }
 
 /// What the supervisor observed and did over the run.
@@ -104,20 +150,128 @@ impl SupervisorReport {
     }
 }
 
-fn classify(down: &[bool], permanent: &[bool], t: usize) -> ClusterHealth {
-    let down_count = down
-        .iter()
-        .zip(permanent)
-        .filter(|(d, p)| **d || **p)
-        .count();
-    if down_count == 0 {
-        ClusterHealth::Healthy
-    } else if down_count <= t {
-        ClusterHealth::Degraded {
-            quorum_margin: t - down_count,
+/// A booted cluster the generic [`supervise`] loop can drive: the seam
+/// shared by the channel substrate (this crate) and the socket
+/// substrate (`rtc-net`).
+pub trait Supervisable {
+    /// Time elapsed since the cluster booted.
+    fn elapsed(&self) -> Duration;
+    /// Which nodes are currently down (crashed and not yet respawned).
+    fn down(&self) -> Vec<bool>;
+    /// Whether every node not excused by `permanent` is up and holds a
+    /// decision — the loop's termination condition.
+    fn all_done(&self, permanent: &[bool]) -> bool;
+    /// Respawns a down node, from its crash snapshot or amnesiac.
+    fn respawn(&mut self, idx: usize, from_snapshot: bool);
+}
+
+/// Drives a [`Supervisable`] cluster until every owed decision is in or
+/// `wall_timeout` passes: observe crashes, schedule restarts under the
+/// policy's backoff, mark nodes permanent after `max_retries`, log every
+/// health transition against `t`.
+///
+/// Returns the supervisor's report, which nodes were ever respawned,
+/// and whether the loop ended by decision (vs timeout). Polls every
+/// `poll` (the substrate's tick, normally).
+pub fn supervise<C: Supervisable>(
+    core: &mut C,
+    n: usize,
+    t: usize,
+    policy: SupervisorPolicy,
+    wall_timeout: Duration,
+    poll: Duration,
+) -> (SupervisorReport, Vec<bool>, bool) {
+    let mut rng = SmallRng::seed_from_u64(policy.seed);
+    let mut attempts = vec![0u32; n];
+    let mut permanent = vec![false; n];
+    // Restart due-times for nodes the supervisor has seen down.
+    let mut due: Vec<Option<Duration>> = vec![None; n];
+    let mut recovered = vec![false; n];
+    let mut health_log = vec![(Duration::ZERO, ClusterHealth::Healthy)];
+    let mut decided_in_time = false;
+
+    while core.elapsed() < wall_timeout {
+        let now = core.elapsed();
+        let down_now = core.down();
+        for idx in 0..n {
+            if permanent[idx] || !down_now[idx] {
+                // A node that came back on its own (or was never down)
+                // has no pending restart.
+                if !down_now[idx] {
+                    due[idx] = None;
+                }
+                continue;
+            }
+            match due[idx] {
+                None => {
+                    // Newly observed crash: schedule a restart.
+                    if attempts[idx] >= policy.max_retries {
+                        permanent[idx] = true;
+                        continue;
+                    }
+                    due[idx] = Some(now + policy.backoff(attempts[idx], &mut rng));
+                }
+                Some(at) if now >= at => {
+                    attempts[idx] += 1;
+                    recovered[idx] = true;
+                    due[idx] = None;
+                    core.respawn(idx, policy.from_snapshot);
+                }
+                Some(_) => {}
+            }
         }
-    } else {
-        ClusterHealth::Stalled
+
+        let health = ClusterHealth::classify(&down_now, &permanent, t);
+        if health_log.last().map(|(_, h)| *h) != Some(health) {
+            health_log.push((now, health));
+        }
+
+        if core.all_done(&permanent) {
+            decided_in_time = true;
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+
+    let final_health = ClusterHealth::classify(&core.down(), &permanent, t);
+    (
+        SupervisorReport {
+            restarts: attempts,
+            permanent_failures: permanent,
+            health_log,
+            final_health,
+        },
+        recovered,
+        decided_in_time,
+    )
+}
+
+impl<A> Supervisable for ClusterCore<A>
+where
+    A: Recoverable + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn down(&self) -> Vec<bool> {
+        self.shared.down.lock().clone()
+    }
+
+    fn all_done(&self, permanent: &[bool]) -> bool {
+        // Permanently failed nodes owe nothing. Everyone else must be
+        // up (no crash awaiting its backoff) and hold a decision.
+        let st = self.shared.statuses.lock();
+        let down = self.shared.down.lock();
+        st.iter()
+            .zip(down.iter())
+            .zip(permanent)
+            .all(|((s, d), p)| *p || (!*d && s.is_decided()))
+    }
+
+    fn respawn(&mut self, idx: usize, from_snapshot: bool) {
+        ClusterCore::respawn(self, idx, from_snapshot);
     }
 }
 
@@ -147,91 +301,10 @@ where
     let mut faults = faults;
     faults.restarts.clear();
     let mut core = ClusterCore::boot(procs, seeds, faults, &opts);
-    let mut rng = SmallRng::seed_from_u64(policy.seed);
-
-    let mut attempts = vec![0u32; n];
-    let mut permanent = vec![false; n];
-    // Restart due-times for nodes the supervisor has seen down.
-    let mut due: Vec<Option<Duration>> = vec![None; n];
-    let mut recovered = vec![false; n];
-    let mut health_log = vec![(Duration::ZERO, ClusterHealth::Healthy)];
-    let mut decided_in_time = false;
-
-    while core.start.elapsed() < opts.wall_timeout {
-        let now = core.start.elapsed();
-        let down_now = core.shared.down.lock().clone();
-        for idx in 0..n {
-            if permanent[idx] || !down_now[idx] {
-                // A node that came back on its own (or was never down)
-                // has no pending restart.
-                if !down_now[idx] {
-                    due[idx] = None;
-                }
-                continue;
-            }
-            match due[idx] {
-                None => {
-                    // Newly observed crash: schedule a restart.
-                    if attempts[idx] >= policy.max_retries {
-                        permanent[idx] = true;
-                        continue;
-                    }
-                    let exp = policy
-                        .base_backoff
-                        .saturating_mul(1u32 << attempts[idx].min(20));
-                    let backoff = exp.min(policy.max_backoff);
-                    let jitter = if policy.jitter_permille == 0 {
-                        Duration::ZERO
-                    } else {
-                        backoff
-                            .mul_f64(f64::from(rng.gen_range(0..=policy.jitter_permille)) / 1000.0)
-                    };
-                    due[idx] = Some(now + backoff + jitter);
-                }
-                Some(at) if now >= at => {
-                    attempts[idx] += 1;
-                    recovered[idx] = true;
-                    due[idx] = None;
-                    core.respawn(idx, policy.from_snapshot);
-                }
-                Some(_) => {}
-            }
-        }
-
-        let health = classify(&down_now, &permanent, t);
-        if health_log.last().map(|(_, h)| *h) != Some(health) {
-            health_log.push((now, health));
-        }
-
-        // Permanently failed nodes owe nothing. Everyone else must be
-        // up (no crash awaiting its backoff) and hold a decision.
-        let all_done = {
-            let st = core.shared.statuses.lock();
-            let down = core.shared.down.lock();
-            st.iter()
-                .zip(down.iter())
-                .zip(&permanent)
-                .all(|((s, d), p)| *p || (!*d && s.is_decided()))
-        };
-        if all_done {
-            decided_in_time = true;
-            break;
-        }
-        std::thread::sleep(opts.tick);
-    }
-
-    let final_down = core.shared.down.lock().clone();
-    let final_health = classify(&final_down, &permanent, t);
+    let (sup, recovered, decided_in_time) =
+        supervise(&mut core, n, t, policy, opts.wall_timeout, opts.tick);
     let report = core.finish(recovered, decided_in_time);
-    (
-        report,
-        SupervisorReport {
-            restarts: attempts,
-            permanent_failures: permanent,
-            health_log,
-            final_health,
-        },
-    )
+    (report, sup)
 }
 
 #[cfg(test)]
@@ -302,21 +375,15 @@ mod tests {
     }
 
     #[test]
-    fn backoff_grows_and_caps() {
+    fn backoff_grows_caps_and_jitters_within_bounds() {
         let policy = SupervisorPolicy {
             base_backoff: Duration::from_millis(2),
             max_backoff: Duration::from_millis(10),
             jitter_permille: 0,
             ..SupervisorPolicy::default()
         };
-        let grown: Vec<Duration> = (0..4)
-            .map(|attempt| {
-                policy
-                    .base_backoff
-                    .saturating_mul(1u32 << attempt)
-                    .min(policy.max_backoff)
-            })
-            .collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let grown: Vec<Duration> = (0..4).map(|a| policy.backoff(a, &mut rng)).collect();
         assert_eq!(
             grown,
             vec![
@@ -326,25 +393,35 @@ mod tests {
                 Duration::from_millis(10),
             ]
         );
+        // With jitter, the delay stays within [backoff, backoff * 1.25].
+        let jittery = SupervisorPolicy {
+            jitter_permille: 250,
+            ..policy
+        };
+        for attempt in 0..4 {
+            let base = policy.backoff(attempt, &mut rng);
+            let d = jittery.backoff(attempt, &mut rng);
+            assert!(d >= base && d <= base.mul_f64(1.25), "{d:?} vs {base:?}");
+        }
     }
 
     #[test]
     fn health_classification_tracks_t() {
         assert_eq!(
-            classify(&[false; 4], &[false; 4], 1),
+            ClusterHealth::classify(&[false; 4], &[false; 4], 1),
             ClusterHealth::Healthy
         );
         assert_eq!(
-            classify(&[true, false, false, false], &[false; 4], 2),
+            ClusterHealth::classify(&[true, false, false, false], &[false; 4], 2),
             ClusterHealth::Degraded { quorum_margin: 1 }
         );
         assert_eq!(
-            classify(&[true, true, false, false], &[false; 4], 1),
+            ClusterHealth::classify(&[true, true, false, false], &[false; 4], 1),
             ClusterHealth::Stalled
         );
         // Permanent failures count against health too.
         assert_eq!(
-            classify(&[false; 3], &[true, false, false], 1),
+            ClusterHealth::classify(&[false; 3], &[true, false, false], 1),
             ClusterHealth::Degraded { quorum_margin: 0 }
         );
     }

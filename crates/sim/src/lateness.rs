@@ -59,7 +59,11 @@ impl LatenessMonitor {
     /// Notes that processor `i` stepped at global event `event`. Must be
     /// called before classifying the deliveries of that step (the
     /// receiving step itself counts toward the interval).
-    pub(crate) fn note_step(&mut self, i: usize, event: u64) {
+    ///
+    /// Public so other substrates (the socket runtime) can reuse the
+    /// monitor: they number their own step events with any strictly
+    /// increasing counter shared across processors.
+    pub fn note_step(&mut self, i: usize, event: u64) {
         let base = i * self.cap;
         let slot = (self.counts[i] as usize) % self.cap;
         self.hist[base + slot] = event;
@@ -70,8 +74,9 @@ impl LatenessMonitor {
     }
 
     /// Classifies the delivery of `id` (sent at `send_event`) at the
-    /// current step; returns whether it was late.
-    pub(crate) fn classify_delivery(&mut self, id: MsgId, send_event: u64) -> bool {
+    /// current step; returns whether it was late. External substrates
+    /// mint ids with [`MsgId::external`].
+    pub fn classify_delivery(&mut self, id: MsgId, send_event: u64) -> bool {
         self.delivered += 1;
         let late = self.kth.iter().any(|&kth| kth > send_event);
         if late {

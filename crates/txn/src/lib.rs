@@ -17,7 +17,9 @@
 //!   simulator or the threaded runtime);
 //! * every state transition is recorded in a [`Wal`] (write-ahead log)
 //!   whose invariants — votes precede decisions, decisions never flip —
-//!   are machine-checked;
+//!   are machine-checked, and whose durable encoding frames every
+//!   record with a CRC32 so recovery truncates a torn or corrupt tail
+//!   instead of failing ([`Replica::recover_from_bytes`]);
 //! * committed transactions are applied in *transaction-id order*, so
 //!   every replica that commits the same set reaches the same store,
 //!   regardless of the order in which decisions arrived.
@@ -33,4 +35,4 @@ mod wal;
 pub use epochs::{EpochError, EpochOutcome, EpochRunner};
 pub use replica::{replica_population, Replica, ReplicaSnapshot, TxBatchStatus, TxMsg};
 pub use store::{Op, Store, Transaction, TxId};
-pub use wal::{LogRecord, Wal};
+pub use wal::{LogRecord, Wal, WalDamage};

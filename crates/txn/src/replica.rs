@@ -170,6 +170,70 @@ impl Replica {
         }
     }
 
+    /// Reconstructs a replica from the *encoded* write-ahead log bytes
+    /// on stable storage, tolerating a damaged tail.
+    ///
+    /// The bytes are decoded with [`Wal::decode`], which truncates at
+    /// the first torn or corrupt record instead of erroring: the
+    /// surviving prefix is exactly what the pre-crash replica durably
+    /// promised. Recovery then proceeds as in [`Replica::recover`],
+    /// with one addition — a transaction whose *vote* record was lost
+    /// to the tear was never promised anything, so the replica is free
+    /// to vote afresh by local validation (and logs that vote). A
+    /// transaction whose *decision* was torn off rejoins as pending and
+    /// catches up from its peers.
+    ///
+    /// Returns the recovered replica and the damage found, if any.
+    pub fn recover_from_bytes(
+        cfg: CommitConfig,
+        id: ProcessorId,
+        initial: Store,
+        batch: &[Transaction],
+        bytes: &[u8],
+    ) -> (Replica, Option<crate::wal::WalDamage>) {
+        let (mut wal, damage) = Wal::decode(bytes);
+        wal.check_invariants()
+            .expect("the durable WAL prefix satisfies the log invariants");
+        let mut instances = BTreeMap::new();
+        let mut outcomes = BTreeMap::new();
+        let mut txs = BTreeMap::new();
+        for tx in batch {
+            match wal.vote_of(tx.id) {
+                Some(vote) => match wal.decision_of(tx.id) {
+                    Some(decision) => {
+                        outcomes.insert(tx.id, decision);
+                    }
+                    None => {
+                        let fresh = CommitAutomaton::new(cfg, id, vote);
+                        instances
+                            .insert(tx.id, CommitAutomaton::restore_amnesiac(&fresh.snapshot()));
+                    }
+                },
+                None => {
+                    // The vote never reached stable storage, so it was
+                    // never sent either (write-ahead ordering): this is
+                    // a fresh participant, not an amnesiac rejoiner.
+                    let vote = Value::from_bool(initial.validates(tx));
+                    wal.append(LogRecord::Vote { tx: tx.id, vote });
+                    instances.insert(tx.id, CommitAutomaton::new(cfg, id, vote));
+                }
+            }
+            txs.insert(tx.id, tx.clone());
+        }
+        (
+            Replica {
+                id,
+                initial,
+                batch: txs,
+                instances,
+                outcomes,
+                wal,
+                cfg,
+            },
+            damage,
+        )
+    }
+
     /// The decided fate of every transaction so far.
     pub fn outcomes(&self) -> &BTreeMap<TxId, Decision> {
         &self.outcomes
@@ -536,6 +600,59 @@ mod tests {
         assert_eq!(restored.store(), original.store());
         assert!(restored.wal().extends(original.wal()));
         assert!(original.wal().extends(restored.wal()));
+    }
+
+    #[test]
+    fn torn_decision_record_recovers_the_transaction_as_pending() {
+        let initial = Store::with_entries([("alice", 100)]);
+        let batch = vec![
+            transfer(1, "alice", "bob", 70),
+            transfer(2, "alice", "bob", 9_999),
+        ];
+        let replicas = run_batch(4, &initial, &batch, 21);
+        let original = &replicas[0];
+        assert_eq!(original.outcomes().len(), 2, "both decided before crash");
+
+        // The crash tears the last frame of the on-disk log in half —
+        // a decision record is lost mid-write.
+        let bytes = original.wal().encode();
+        let torn = &bytes[..bytes.len() - 7];
+        let (recovered, damage) =
+            Replica::recover_from_bytes(cfg(4), ProcessorId::new(0), initial, &batch, torn);
+        assert!(matches!(damage, Some(crate::wal::WalDamage::Torn { .. })));
+        // The decided set shrank by exactly the torn decision; the
+        // affected transaction is pending again (it will catch up from
+        // peers), and every durable vote still binds.
+        assert_eq!(recovered.outcomes().len(), 1);
+        assert_eq!(recovered.batch_status().pending.len(), 1);
+        for tx in &batch {
+            assert_eq!(
+                recovered.wal().vote_of(tx.id),
+                original.wal().vote_of(tx.id)
+            );
+        }
+        assert!(recovered.wal().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn torn_vote_record_lets_the_replica_vote_afresh() {
+        let c = cfg(3);
+        let initial = Store::with_entries([("a", 10)]);
+        let batch = vec![transfer(1, "a", "b", 5)];
+        let fresh = Replica::new(c, ProcessorId::new(1), initial.clone(), &batch);
+        // Only half of the single vote record made it to disk.
+        let bytes = fresh.wal().encode();
+        let (recovered, damage) =
+            Replica::recover_from_bytes(c, ProcessorId::new(1), initial, &batch, &bytes[..5]);
+        assert!(matches!(
+            damage,
+            Some(crate::wal::WalDamage::Torn { offset: 0 })
+        ));
+        // The vote was never durable, so the replica re-validated and
+        // re-logged it; the transaction runs as a fresh participant.
+        assert_eq!(recovered.wal().vote_of(TxId(1)), Some(Value::One));
+        assert_eq!(recovered.batch_status().pending, vec![TxId(1)]);
+        assert!(!recovered.status().is_decided());
     }
 
     #[test]

@@ -9,6 +9,19 @@
 //! 2. at most one `Decision` is ever logged per transaction;
 //! 3. a replica that voted abort never logs a commit decision for that
 //!    transaction (its own vote already forced the outcome).
+//!
+//! # Durable framing
+//!
+//! [`Wal::encode`] lays the log out as it would sit on disk: one
+//! fixed-size frame per record, each ending in a CRC32 of the frame's
+//! content. [`Wal::decode`] reads frames back and — crucially — treats
+//! damage the way a recovering database must: a *torn* final frame
+//! (the crash landed mid-write) or a *corrupt* frame (checksum
+//! mismatch) truncates the log at that point instead of failing
+//! recovery. Everything before the damage was durably promised;
+//! everything at and after it never happened.
+
+use std::fmt;
 
 use rtc_model::{Decision, Value};
 
@@ -32,6 +45,56 @@ pub enum LogRecord {
         decision: Decision,
     },
 }
+
+/// Damage found while decoding an encoded log, and where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalDamage {
+    /// The byte stream ended in the middle of a frame — the classic
+    /// torn write of a crash mid-append. `offset` is where the partial
+    /// frame starts.
+    Torn {
+        /// Byte offset of the incomplete frame.
+        offset: usize,
+    },
+    /// A frame's checksum did not match its content (bit rot, a
+    /// misdirected write, or garbage after an earlier tear). `offset`
+    /// is where the bad frame starts.
+    Corrupt {
+        /// Byte offset of the frame that failed its checksum.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for WalDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalDamage::Torn { offset } => write!(f, "torn record at byte {offset}"),
+            WalDamage::Corrupt { offset } => write!(f, "corrupt record at byte {offset}"),
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `bytes`. Bitwise
+/// rather than table-driven: WAL frames are 14 bytes, so the table
+/// would cost more cache than it saves.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+const TAG_VOTE: u8 = 0;
+const TAG_DECISION: u8 = 1;
+/// Frame layout: `tag(1) ‖ tx(8 LE) ‖ payload(1) ‖ crc32(4 LE)`, with
+/// the checksum covering the first ten bytes.
+const FRAME: usize = 14;
+const CRC_AT: usize = FRAME - 4;
 
 /// An append-only write-ahead log.
 #[derive(Clone, Debug, Default)]
@@ -88,6 +151,73 @@ impl Wal {
             LogRecord::Decision { tx: t, decision } if *t == tx => Some(*decision),
             _ => None,
         })
+    }
+
+    /// Serializes the log into its durable frame format (module docs):
+    /// fixed-size records, each carrying a CRC32 of its content.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.records.len() * FRAME);
+        for r in &self.records {
+            let (tag, tx, payload) = match r {
+                LogRecord::Vote { tx, vote } => (TAG_VOTE, tx.0, *vote == Value::One),
+                LogRecord::Decision { tx, decision } => {
+                    (TAG_DECISION, tx.0, *decision == Decision::Commit)
+                }
+            };
+            let start = out.len();
+            out.push(tag);
+            out.extend_from_slice(&tx.to_le_bytes());
+            out.push(u8::from(payload));
+            let crc = crc32(&out[start..]);
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes an encoded log, truncating at the first torn or
+    /// corrupt record instead of erroring: the prefix before the damage
+    /// is exactly what was durably promised, so recovery proceeds from
+    /// it. Returns the recovered prefix and what (if anything) was
+    /// found wrong.
+    pub fn decode(bytes: &[u8]) -> (Wal, Option<WalDamage>) {
+        let mut wal = Wal::new();
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            if rest.len() < FRAME {
+                return (wal, Some(WalDamage::Torn { offset }));
+            }
+            let frame = &rest[..FRAME];
+            let stored = u32::from_le_bytes(frame[CRC_AT..].try_into().expect("4 crc bytes"));
+            // An unknown tag or out-of-range payload cannot carry a
+            // valid checksum of itself being valid, so the CRC check
+            // subsumes structural validation — but check the fields
+            // anyway: an adversarial collision must not panic decoding.
+            let tag = frame[0];
+            let payload = frame[CRC_AT - 1];
+            if crc32(&frame[..CRC_AT]) != stored || tag > TAG_DECISION || payload > 1 {
+                return (wal, Some(WalDamage::Corrupt { offset }));
+            }
+            let tx = TxId(u64::from_le_bytes(
+                frame[1..9].try_into().expect("8 tx bytes"),
+            ));
+            wal.append(match tag {
+                TAG_VOTE => LogRecord::Vote {
+                    tx,
+                    vote: Value::from_bool(payload == 1),
+                },
+                _ => LogRecord::Decision {
+                    tx,
+                    decision: if payload == 1 {
+                        Decision::Commit
+                    } else {
+                        Decision::Abort
+                    },
+                },
+            });
+            offset += FRAME;
+        }
+        (wal, None)
     }
 
     /// Checks the log invariants; returns a description of the first
@@ -179,6 +309,90 @@ mod tests {
             decision: Decision::Commit,
         });
         assert!(wal.check_invariants().is_err());
+    }
+
+    fn sample_wal() -> Wal {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Vote {
+            tx: TxId(1),
+            vote: Value::One,
+        });
+        wal.append(LogRecord::Vote {
+            tx: TxId(2),
+            vote: Value::Zero,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(1),
+            decision: Decision::Commit,
+        });
+        wal.append(LogRecord::Decision {
+            tx: TxId(2),
+            decision: Decision::Abort,
+        });
+        wal
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_cleanly() {
+        let wal = sample_wal();
+        let bytes = wal.encode();
+        let (decoded, damage) = Wal::decode(&bytes);
+        assert_eq!(damage, None);
+        assert_eq!(decoded.records(), wal.records());
+        let (empty, damage) = Wal::decode(&[]);
+        assert_eq!(damage, None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn torn_final_record_truncates_to_the_durable_prefix() {
+        let wal = sample_wal();
+        let bytes = wal.encode();
+        // Chop the last frame mid-write, at every possible tear point.
+        for torn_len in 1..14 {
+            let cut = bytes.len() - torn_len;
+            let (decoded, damage) = Wal::decode(&bytes[..cut]);
+            assert_eq!(decoded.records(), &wal.records()[..3], "tear at {cut}");
+            assert_eq!(damage, Some(WalDamage::Torn { offset: 3 * 14 }));
+            assert!(decoded.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn corrupt_record_truncates_at_the_damage() {
+        let wal = sample_wal();
+        let mut bytes = wal.encode();
+        // Flip one payload bit in the second frame (a Zero vote becomes
+        // a One vote): the checksum must catch the flip, and recovery
+        // keeps only the first record.
+        bytes[14 + 9] ^= 1;
+        let (decoded, damage) = Wal::decode(&bytes);
+        assert_eq!(decoded.records(), &wal.records()[..1]);
+        assert_eq!(damage, Some(WalDamage::Corrupt { offset: 14 }));
+    }
+
+    #[test]
+    fn garbage_tags_and_payloads_are_corruption_not_panics() {
+        // A frame with matching CRC but nonsense tag must be rejected.
+        let mut bytes = vec![7u8]; // unknown tag
+        bytes.extend_from_slice(&42u64.to_le_bytes());
+        bytes.push(0);
+        let crc = {
+            // Mirror the encoder's checksum over the frame content.
+            let mut crc = u32::MAX;
+            for &b in &bytes {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        };
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let (decoded, damage) = Wal::decode(&bytes);
+        assert!(decoded.is_empty());
+        assert_eq!(damage, Some(WalDamage::Corrupt { offset: 0 }));
     }
 
     #[test]

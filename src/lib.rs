@@ -20,9 +20,12 @@
 //!   (`rtc-baselines`);
 //! * [`runtime`] — the threaded crossbeam-channel cluster
 //!   (`rtc-runtime`);
+//! * [`net`] — the socket substrate: the same automata over real
+//!   localhost TCP with a fault-injecting proxy (`rtc-net`);
 //! * [`experiments`] — the Monte-Carlo harness (`rtc-experiments`);
 //! * [`chaos`] — seeded chaos campaigns with crashes, restarts, delay
-//!   spikes, and link flaps over both substrates (`rtc-chaos`).
+//!   spikes, and link flaps over every substrate, plus the supervised
+//!   socket soak (`rtc-chaos`).
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use rtc_core as core;
 pub use rtc_experiments as experiments;
 pub use rtc_lockstep as lockstep;
 pub use rtc_model as model;
+pub use rtc_net as net;
 pub use rtc_runtime as runtime;
 pub use rtc_sim as sim;
 pub use rtc_txn as txn;
