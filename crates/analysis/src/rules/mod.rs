@@ -15,6 +15,7 @@ mod channel_unwrap;
 mod determinism;
 mod exhaustive;
 mod panic_path;
+mod per_instance_alloc;
 mod socket_deadline;
 mod unbounded_recv;
 mod unordered_iter;
@@ -25,6 +26,7 @@ pub use channel_unwrap::ChannelSendUnwrap;
 pub use determinism::WallClock;
 pub use exhaustive::MessageExhaustiveness;
 pub use panic_path::PanicInProtocolPath;
+pub use per_instance_alloc::PerInstanceAlloc;
 pub use socket_deadline::SocketDeadline;
 pub use unbounded_recv::UnboundedRecv;
 pub use unordered_iter::UnorderedIter;
@@ -48,6 +50,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnorderedIter),
         Box::new(PanicInProtocolPath),
         Box::new(AllocInFanout),
+        Box::new(PerInstanceAlloc),
         Box::new(BufferLinearScan),
         Box::new(UnboundedRecv),
         Box::new(SocketDeadline),

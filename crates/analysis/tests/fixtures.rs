@@ -53,6 +53,13 @@ fn corpus() -> Vec<(
             include_str!("fixtures/alloc_fanout_negative.rs"),
         ),
         (
+            "per-instance-alloc",
+            "rtc-sim",
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/per_instance_alloc_positive.rs"),
+            include_str!("fixtures/per_instance_alloc_negative.rs"),
+        ),
+        (
             "buffer-linear-scan",
             "rtc-sim",
             "crates/sim/src/fixture.rs",

@@ -1,0 +1,17 @@
+//! Negative fixture for `per-instance-alloc`: the marked stepping loop
+//! reuses a pooled scratch buffer, and its one intentional allocation
+//! carries a suppression. Not compiled — scanned by `fixtures.rs`.
+
+pub fn step_slice(lanes: &mut [Lane], budget: u64, scratch: &mut Vec<MsgId>) {
+    for lane in lanes {
+        // rtc-hot-loop(per-instance): fixture stepping loop.
+        for _ in 0..budget {
+            let mut deliver = std::mem::take(scratch);
+            deliver.clear();
+            lane.fill(&mut deliver);
+            // rtc-allow(per-instance-alloc): grows once, then amortized
+            let snapshot = deliver.to_vec();
+            lane.apply(deliver, snapshot);
+        }
+    }
+}

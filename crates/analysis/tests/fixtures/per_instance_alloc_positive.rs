@@ -1,0 +1,13 @@
+//! Positive fixture for `per-instance-alloc`: the marked stepping loop
+//! allocates a fresh buffer every event. Not compiled — scanned by
+//! `fixtures.rs`.
+
+pub fn step_slice(lanes: &mut [Lane], budget: u64) {
+    for lane in lanes {
+        // rtc-hot-loop(per-instance): fixture stepping loop.
+        for _ in 0..budget {
+            let deliver: Vec<MsgId> = Vec::new();
+            lane.apply(deliver);
+        }
+    }
+}

@@ -28,11 +28,11 @@ use std::time::Instant;
 use criterion::Criterion;
 use rtc_bench::{BenchReport, Metric};
 use rtc_chaos::{run_campaign, CampaignConfig, ChaosAdversary, ChaosDelay, ChaosSchedule};
-use rtc_core::{commit_population, CommitAutomaton, CommitConfig};
+use rtc_core::{commit_population, CommitAutomaton, CommitConfig, CommitMsg};
 use rtc_experiments::run_commit;
 use rtc_model::{Automaton, LocalClock, ProcessorId, SeedCollection, TimingParams, Value};
 use rtc_sim::adversaries::SynchronousAdversary;
-use rtc_sim::{RunLimits, SimBuilder};
+use rtc_sim::{BatchPool, BatchSim, BatchSimBuilder, RunLimits, SimBuilder};
 
 /// `System` wrapped in allocation counting. Counts every `alloc` and
 /// `realloc` call; frees are irrelevant to the metric (we count heap
@@ -131,6 +131,30 @@ const PRE_SCHEDULER: &[(&str, f64, &str, bool)] = &[
     ("time/sync_commit/n16", 390.772, "us/run", false),
     ("time/sync_commit_ns_per_msg/n16", 420.185, "ns/msg", false),
     ("alloc/sync_commit_total/n16", 1295.0, "allocs/run", true),
+];
+
+/// The pre-batch-engine measurements (commit 73cfdb3, this machine),
+/// frozen before the concurrent-instance batch plane landed: the
+/// single-instance numbers the aggregate `decided_instances_per_sec`
+/// metrics are read against (docs/PERF.md derives the implied serial
+/// rate from these). Layout: (name, value, unit, deterministic).
+const PRE_BATCH: &[(&str, f64, &str, bool)] = &[
+    ("time/sim_steps_per_sec/n16", 716579.711, "steps/sec", false),
+    ("time/sim_steps_per_sec/n32", 341458.298, "steps/sec", false),
+    ("time/sim_step/n16", 1395.518, "ns/step", false),
+    ("time/sim_step/n32", 2928.615, "ns/step", false),
+    (
+        "time/campaign_throughput/sim40",
+        1123.039,
+        "schedules/sec",
+        false,
+    ),
+    ("time/sync_commit/n16", 562.448, "us/run", false),
+    ("time/sync_commit_ns_per_msg/n16", 604.783, "ns/msg", false),
+    ("time/stage_latency/n4", 21.504, "us/run", false),
+    ("time/stage_latency/n16", 399.647, "us/run", false),
+    ("time/stage_latency/n32", 2405.649, "us/run", false),
+    ("alloc/sync_commit_total/n16", 1149.0, "allocs/run", true),
 ];
 
 fn cfg(n: usize) -> CommitConfig {
@@ -252,7 +276,8 @@ fn soak_schedule(n: usize, t: usize, seed: u64) -> ChaosSchedule {
 /// events per wall-clock second across several seeded runs. Measured
 /// single-shot (no criterion) so the metric exists in `--test` smoke
 /// mode too — the CI gate tracks it with a generous noise margin.
-fn measure_sim_throughput(metrics: &mut Vec<Metric>) {
+fn measure_sim_throughput(metrics: &mut Vec<Metric>) -> f64 {
+    let mut n16_rate = 0.0;
     for n in [16usize, 32] {
         let config = cfg(n);
         const REPS: u64 = 24;
@@ -281,9 +306,10 @@ fn measure_sim_throughput(metrics: &mut Vec<Metric>) {
             events += report.events();
         }
         let secs = start.elapsed().as_secs_f64();
+        let rate = events as f64 / secs;
         metrics.push(Metric::throughput(
             format!("time/sim_steps_per_sec/n{n}"),
-            events as f64 / secs,
+            rate,
             "steps/sec",
         ));
         metrics.push(Metric::timing(
@@ -291,6 +317,137 @@ fn measure_sim_throughput(metrics: &mut Vec<Metric>) {
             secs * 1e9 / events as f64,
             "ns/step",
         ));
+        if n == 16 {
+            // The serial engine's measured per-instance rate: each rep
+            // above builds a fresh `Sim` and drives one soak schedule
+            // to completion, so `REPS / secs` is the implied
+            // single-instance rate — identically `steps/s ÷
+            // steps-per-run` since both come from the same timed loop.
+            // The batch plane's decided-instances rate is gated against
+            // a multiple of this (docs/PERF.md walks the arithmetic).
+            metrics.push(Metric::exact(
+                "sim/steps_per_run/n16",
+                events as f64 / REPS as f64,
+                "steps/run",
+            ));
+            n16_rate = REPS as f64 / secs;
+            metrics.push(Metric::throughput(
+                "time/implied_serial_instances_per_sec/n16",
+                n16_rate,
+                "instances/sec",
+            ));
+        }
+    }
+    n16_rate
+}
+
+/// One pooled batch of `b` synchronous commit instances at population
+/// `n`, seeds disambiguated by `round` so repeated batches exercise
+/// distinct runs like a campaign would.
+fn build_batch(
+    config: CommitConfig,
+    b: usize,
+    round: u64,
+    pool: BatchPool<CommitMsg>,
+) -> BatchSim<CommitAutomaton> {
+    let votes = vec![Value::One; config.population()];
+    let mut builder = BatchSimBuilder::from_pool(pool);
+    for i in 0..b {
+        builder
+            .instance(
+                SimBuilder::new(
+                    config.timing(),
+                    SeedCollection::new(0xBA7C_0000 + round * b as u64 + i as u64),
+                )
+                .fault_budget(config.fault_bound()),
+                commit_population(config, &votes),
+            )
+            .expect("batch instances share a population");
+    }
+    builder.build()
+}
+
+/// Aggregate decided-instances throughput of the batch engine: B
+/// independent synchronous commit instances stepped round-robin over
+/// the shared scheduler plane, envelope pool recycled across rounds.
+/// Reported best-of-5 (each round times one full batch to decision, on
+/// a warm pool), single shot per round so the metrics exist in smoke
+/// mode. Also records, for the `n = 16` shape, the exact
+/// steps-per-decision of this workload — the divisor that turns the
+/// single-instance `sim_steps_per_sec` soak rate into an implied
+/// serial decided-instances rate (docs/PERF.md walks the arithmetic) —
+/// and the exact stepping-loop allocations per instance on a warm
+/// pool.
+fn measure_batch_throughput(metrics: &mut Vec<Metric>, implied_serial_n16: f64) {
+    const ROUNDS: u64 = 5;
+    for (n, b) in [(4usize, 256usize), (16, 64), (32, 16)] {
+        let config = cfg(n);
+        // Round 0 is the warm-up: first-touch allocations land here and
+        // its spent allocations become every later round's pool.
+        let mut pool = BatchPool::new();
+        let mut best_secs = f64::INFINITY;
+        let mut events = 0u64;
+        let mut decided = 0u64;
+        for round in 0..=ROUNDS {
+            let mut advs: Vec<SynchronousAdversary> =
+                (0..b).map(|_| SynchronousAdversary::new(n)).collect();
+            let mut batch = build_batch(config, b, round, pool);
+            let start = Instant::now();
+            let reports = batch.run(&mut advs, RunLimits::default()).unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            for report in &reports {
+                assert!(report.all_nonfaulty_decided(), "synchronous batch decides");
+            }
+            if round > 0 {
+                best_secs = best_secs.min(secs);
+                events += reports.iter().map(|r| r.events()).sum::<u64>();
+                decided += b as u64;
+            }
+            pool = batch.into_pool();
+        }
+        metrics.push(Metric::throughput(
+            format!("time/decided_instances_per_sec/n{n}_b{b}"),
+            b as f64 / best_secs,
+            "instances/sec",
+        ));
+        if n == 16 {
+            metrics.push(Metric::throughput(
+                "time/batch_events_per_sec/n16_b64",
+                (events / ROUNDS) as f64 / best_secs,
+                "steps/sec",
+            ));
+            metrics.push(Metric::exact(
+                "batch/steps_per_decision/n16",
+                events as f64 / decided as f64,
+                "steps/decision",
+            ));
+            // The acceptance arithmetic: the batch plane's aggregate
+            // decided-instances rate over the implied single-instance
+            // serial rate (build one `Sim`, run one instance, repeat —
+            // measured in `measure_sim_throughput`). Must stay >= 3.
+            metrics.push(Metric::throughput(
+                "batch/speedup_vs_serial/n16_b64",
+                (b as f64 / best_secs) / implied_serial_n16,
+                "x",
+            ));
+            // Stepping-loop allocations per instance on a warm pool:
+            // what the per-instance-alloc analysis rule polices, as a
+            // number. Building the batch (automata, lanes) is excluded;
+            // this is the cost of *running* it.
+            let mut advs: Vec<SynchronousAdversary> =
+                (0..b).map(|_| SynchronousAdversary::new(n)).collect();
+            let mut batch = build_batch(config, b, ROUNDS + 1, pool);
+            let (allocs, reports) =
+                count_allocs(|| batch.run(&mut advs, RunLimits::default()).unwrap());
+            assert_eq!(reports.len(), b);
+            pool = batch.into_pool();
+            metrics.push(Metric::exact(
+                "alloc/batch_step_per_instance/n16",
+                allocs as f64 / b as f64,
+                "allocs/instance",
+            ));
+        }
+        drop(pool);
     }
 }
 
@@ -426,7 +583,8 @@ fn main() {
     measure_fanout(&mut metrics);
     measure_msg_clone(&mut metrics);
     let msgs_per_run = measure_sync_commit(&mut metrics);
-    measure_sim_throughput(&mut metrics);
+    let implied_serial_n16 = measure_sim_throughput(&mut metrics);
+    measure_batch_throughput(&mut metrics, implied_serial_n16);
     measure_campaign_throughput(&mut metrics);
 
     if !smoke {
@@ -435,7 +593,11 @@ fn main() {
         metrics.extend(timing_metrics(msgs_per_run));
     }
 
-    for (prefix, refs) in [("pre_pr", PRE_PR), ("pre_scheduler", PRE_SCHEDULER)] {
+    for (prefix, refs) in [
+        ("pre_pr", PRE_PR),
+        ("pre_scheduler", PRE_SCHEDULER),
+        ("pre_batch", PRE_BATCH),
+    ] {
         for (name, value, unit, deterministic) in refs {
             metrics.push(Metric {
                 name: format!("{prefix}/{name}"),

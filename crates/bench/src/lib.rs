@@ -39,10 +39,10 @@ pub const SCHEMA: &str = "rtc-bench-v1";
 #[derive(Clone, Debug, PartialEq)]
 pub struct Metric {
     /// Hierarchical name, e.g. `alloc/fanout_allocs_per_send/n16`.
-    /// Names prefixed `pre_pr/` (allocation overhaul) or
-    /// `pre_scheduler/` (scheduler overhaul) are frozen pre-optimization
-    /// reference measurements, recorded for the improvement trail and
-    /// never compared.
+    /// Names prefixed `pre_pr/` (allocation overhaul),
+    /// `pre_scheduler/` (scheduler overhaul), or `pre_batch/` (batch
+    /// engine) are frozen pre-optimization reference measurements,
+    /// recorded for the improvement trail and never compared.
     pub name: String,
     /// The measured value; for every metric in this suite, lower is
     /// better.
@@ -258,7 +258,8 @@ impl std::fmt::Display for Regression {
 /// Only deterministic metrics gate by default; pass
 /// `include_timings = true` to also gate wall-clock metrics (meaningful
 /// only when both files come from the same machine). `pre_*/` metrics
-/// (`pre_pr/`, `pre_scheduler/`) are frozen historical references,
+/// (`pre_pr/`, `pre_scheduler/`, `pre_batch/`) are frozen historical
+/// references,
 /// never compared. Metrics present in only one file are ignored (adding
 /// a new benchmark is not a regression).
 pub fn regressions(

@@ -19,22 +19,26 @@
 //! reproducers — is bit-identical to a serial run regardless of worker
 //! count or thread interleaving.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::mem;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
+use rtc_core::CommitMsg;
 use rtc_model::TimingParams;
 use rtc_net::NetOptions;
 use rtc_runtime::{ClusterOptions, SupervisorPolicy};
+use rtc_sim::BatchPool;
 
 use crate::net_driver::run_on_net;
 use crate::outcome::{ChaosOutcome, Substrate};
 use crate::runtime_driver::{run_on_runtime, run_on_supervised};
 use crate::schedule::{ChaosSchedule, ScheduleParams};
 use crate::shrink::shrink_sim_violation;
-use crate::sim_driver::run_on_sim;
+use crate::sim_driver::{run_batch_on_sim, run_on_sim};
 
 /// Configuration of one campaign.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +70,14 @@ pub struct CampaignConfig {
     pub run_net: bool,
     /// Supervisor tunables for the supervised substrate.
     pub supervisor: SupervisorPolicy,
+    /// Execute the simulator substrate in batched mode: each worker
+    /// groups its chunk's schedules by population and runs every group
+    /// as one [`rtc_sim::BatchSim`] over ONE allocation pool reused
+    /// across all of the worker's chunks, instead of schedule-at-a-time.
+    /// Classification is identical either way (the batch engine's
+    /// per-instance equivalence contract); batching only removes the
+    /// per-schedule allocation and setup cost.
+    pub batch_sim: bool,
     /// Shrink simulator violations to minimal reproducers.
     pub shrink_violations: bool,
     /// Worker threads to spread schedules over: `0` sizes to the
@@ -92,6 +104,7 @@ impl Default for CampaignConfig {
             run_supervised: false,
             run_net: false,
             supervisor: SupervisorPolicy::default(),
+            batch_sim: true,
             shrink_violations: true,
             workers: 0,
         }
@@ -223,22 +236,78 @@ fn execute_schedule(cfg: &CampaignConfig, i: u64) -> ScheduleOutcomes {
         let rep = run_on_sim(&schedule, cfg.sim_max_events);
         outcomes.push((Substrate::Sim, rep.outcome));
     }
+    append_other_substrates(cfg, &schedule, &mut outcomes);
+    (i, schedule, outcomes)
+}
+
+/// The non-simulator substrate runs of one schedule, in the fixed
+/// substrate order the summary merge relies on.
+fn append_other_substrates(
+    cfg: &CampaignConfig,
+    schedule: &ChaosSchedule,
+    outcomes: &mut Vec<(Substrate, ChaosOutcome)>,
+) {
     if cfg.run_runtime {
-        let (rep, _) = run_on_runtime(&schedule, cfg.cluster);
+        let (rep, _) = run_on_runtime(schedule, cfg.cluster);
         outcomes.push((Substrate::Runtime, rep.outcome));
     }
     if cfg.run_supervised {
-        let (rep, _, _) = run_on_supervised(&schedule, cfg.cluster, cfg.supervisor);
+        let (rep, _, _) = run_on_supervised(schedule, cfg.cluster, cfg.supervisor);
         outcomes.push((Substrate::Supervised, rep.outcome));
     }
     if cfg.run_net {
         let mut opts = NetOptions::derived(cfg.cluster.tick, TimingParams::default());
         opts.max_steps = cfg.cluster.max_steps;
         opts.wall_timeout = cfg.cluster.wall_timeout;
-        let (rep, _, _) = run_on_net(&schedule, opts, cfg.supervisor);
+        let (rep, _, _) = run_on_net(schedule, opts, cfg.supervisor);
         outcomes.push((Substrate::Net, rep.outcome));
     }
-    (i, schedule, outcomes)
+}
+
+/// Executes the index chunk `lo..hi`, batching the simulator substrate
+/// when [`CampaignConfig::batch_sim`] is on: the chunk's schedules are
+/// grouped by population (a batch shares one `n`) and each group runs
+/// as one [`rtc_sim::BatchSim`] recycling `pool`'s allocations. The
+/// pool is the per-worker one, reused across all of a worker's chunks.
+fn execute_chunk(
+    cfg: &CampaignConfig,
+    lo: u64,
+    hi: u64,
+    pool: &mut BatchPool<CommitMsg>,
+) -> Vec<ScheduleOutcomes> {
+    if !(cfg.batch_sim && cfg.run_sim) {
+        return (lo..hi).map(|i| execute_schedule(cfg, i)).collect();
+    }
+    let schedules: Vec<ChaosSchedule> = (lo..hi)
+        .map(|i| ChaosSchedule::generate(&cfg.params, cfg.seed, i))
+        .collect();
+    // BTreeMap for a deterministic group order; irrelevant to the
+    // classification (each instance is equivalent to its standalone
+    // run) but it keeps pool evolution reproducible too.
+    let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (j, s) in schedules.iter().enumerate() {
+        by_n.entry(s.n).or_default().push(j);
+    }
+    let mut sim_outcomes: Vec<Option<ChaosOutcome>> = vec![None; schedules.len()];
+    for group in by_n.values() {
+        let members: Vec<&ChaosSchedule> = group.iter().map(|&j| &schedules[j]).collect();
+        let (reports, spent) = run_batch_on_sim(&members, cfg.sim_max_events, mem::take(pool));
+        *pool = spent;
+        for (&j, (rep, _)) in group.iter().zip(reports) {
+            sim_outcomes[j] = Some(rep.outcome);
+        }
+    }
+    schedules
+        .into_iter()
+        .zip(sim_outcomes)
+        .enumerate()
+        .map(|(j, (schedule, sim))| {
+            let sim = sim.expect("every schedule of the chunk ran on the simulator");
+            let mut outcomes = vec![(Substrate::Sim, sim)];
+            append_other_substrates(cfg, &schedule, &mut outcomes);
+            (lo + j as u64, schedule, outcomes)
+        })
+        .collect()
 }
 
 /// The effective worker count for a campaign: the configured value,
@@ -265,10 +334,24 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         ..CampaignSummary::default()
     };
     let workers = effective_workers(cfg);
+    // Work is handed out in chunks of consecutive indices. In batch-sim
+    // mode a chunk is also the unit batched through one `BatchSim`
+    // (after grouping by population), so chunks are kept wider there:
+    // a population range of a few values needs several schedules per
+    // value before the shared plane has anything to amortize.
+    let chunk = if cfg.batch_sim && cfg.run_sim {
+        (cfg.schedules / (workers as u64 * 2)).clamp(1, 64)
+    } else {
+        (cfg.schedules / (workers as u64 * 8)).max(1)
+    };
     let mut results: Vec<Option<ScheduleOutcomes>> = Vec::new();
     if workers <= 1 {
-        for i in 0..cfg.schedules {
-            results.push(Some(execute_schedule(cfg, i)));
+        let mut pool = BatchPool::new();
+        let mut lo = 0;
+        while lo < cfg.schedules {
+            let hi = lo.saturating_add(chunk).min(cfg.schedules);
+            results.extend(execute_chunk(cfg, lo, hi, &mut pool).into_iter().map(Some));
+            lo = hi;
         }
     } else {
         results.resize_with(cfg.schedules as usize, || None);
@@ -279,13 +362,15 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         // its siblings sit idle; a shared cursor lets whoever is free
         // take the next chunk. Chunks of a few indices keep cursor
         // contention negligible without recreating the imbalance.
-        let chunk = (cfg.schedules / (workers as u64 * 8)).max(1);
         let next = AtomicU64::new(0);
         let per_worker = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     scope.spawn(move || {
+                        // ONE allocation pool per worker, recycled
+                        // across every chunk it steals.
+                        let mut pool = BatchPool::new();
                         let mut out = Vec::new();
                         loop {
                             let lo = next.fetch_add(chunk, Ordering::Relaxed);
@@ -293,7 +378,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
                                 break out;
                             }
                             let hi = lo.saturating_add(chunk).min(cfg.schedules);
-                            out.extend((lo..hi).map(|i| execute_schedule(cfg, i)));
+                            out.extend(execute_chunk(cfg, lo, hi, &mut pool));
                         }
                     })
                 })
@@ -392,6 +477,35 @@ mod tests {
         };
         let summary = run_campaign(&cfg);
         assert_eq!(summary.sim_decided + summary.sim_stalled, 3);
+    }
+
+    /// The batch engine's equivalence contract at campaign level:
+    /// batched and schedule-at-a-time simulator execution classify
+    /// every schedule identically, so the summaries match bit for bit
+    /// (and, via `worker_count_does_not_change_the_summary`, for every
+    /// worker count).
+    #[test]
+    fn batched_sim_campaign_matches_schedule_at_a_time() {
+        let base = CampaignConfig {
+            schedules: 24,
+            seed: 0x0BA7,
+            run_runtime: false,
+            workers: 1,
+            ..CampaignConfig::default()
+        };
+        let serial = run_campaign(&CampaignConfig {
+            batch_sim: false,
+            ..base
+        });
+        let batched = run_campaign(&CampaignConfig {
+            batch_sim: true,
+            ..base
+        });
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{batched:?}"),
+            "batched sim campaign diverged from schedule-at-a-time"
+        );
     }
 
     #[test]

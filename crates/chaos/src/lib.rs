@@ -60,6 +60,6 @@ pub use schedule::{
     ChaosCrash, ChaosDelay, ChaosFlap, ChaosPartition, ChaosRestart, ChaosSchedule, ScheduleParams,
 };
 pub use shrink::{shrink_schedule, shrink_sim_violation};
-pub use sim_driver::{run_on_sim, run_on_sim_with_decision};
+pub use sim_driver::{run_batch_on_sim, run_on_sim, run_on_sim_with_decision};
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use theorem11::{run_theorem11, Theorem11Evidence};

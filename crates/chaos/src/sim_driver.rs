@@ -10,10 +10,10 @@
 //! [`rtc_model::Recoverable::restore_amnesiac`], which rejoins it as a
 //! non-participating observer that pings peers for the decision.
 
-use rtc_core::properties::verify_commit_run;
-use rtc_core::{commit_population, CommitAutomaton, CommitConfig};
+use rtc_core::properties::{verify_commit_facts, verify_commit_run};
+use rtc_core::{commit_population, CommitAutomaton, CommitConfig, CommitMsg};
 use rtc_model::{Recoverable, SeedCollection, TimingParams};
-use rtc_sim::{SimBuilder, StopWhen};
+use rtc_sim::{BatchPool, BatchSimBuilder, SimBuilder, StopWhen};
 
 use crate::adversary::ChaosAdversary;
 use crate::outcome::{classify_verdict, ChaosReport, Substrate};
@@ -119,6 +119,194 @@ pub fn run_on_sim_with_decision(
         },
         decision,
     )
+}
+
+/// Event budget an instance may spend inside a batch before
+/// [`run_batch_on_sim`] cuts it over to the serial engine — see the
+/// function docs for the policy.
+const SERIAL_CUTOVER_EVENTS: u64 = 2048;
+
+/// Runs a whole group of schedules — all with the same population —
+/// as ONE batched simulation over shared scheduler infrastructure,
+/// recycling `pool`'s allocations, and returns per-schedule reports
+/// plus the spent batch's pool for the next group.
+///
+/// Semantically this is `schedules.map(run_on_sim_with_decision)`:
+/// each instance is byte-identical to its standalone run (the batch
+/// engine's equivalence contract), including the restart machinery —
+/// per-instance segment caps reproduce exactly the segment boundaries
+/// the serial driver computes, because each lane's boundaries depend
+/// only on that lane's own due times and event counter.
+///
+/// Batching pays off by amortizing construction and pooling across
+/// the common case — instances that decide within a few hundred
+/// events. The rare schedule that grinds all the way to `max_events`
+/// would instead run a long solo tail inside the batch, paying batch
+/// bookkeeping per event with nothing left to amortize against; after
+/// `SERIAL_CUTOVER_EVENTS` events an undecided instance is therefore
+/// cut over to the serial engine ([`run_on_sim_with_decision`]), whose
+/// rerun is byte-identical to the abandoned batch continuation by the
+/// equivalence contract. The cutover threshold is far above the
+/// deciding population's event counts, so cutover reruns stay rare and
+/// the wasted batched prefix is bounded and tiny next to the serial
+/// tail it replaces.
+///
+/// # Panics
+///
+/// Panics if the schedules disagree on population (callers group by
+/// `n` first) or a schedule's population/fault-bound combination is
+/// rejected by [`CommitConfig`].
+pub fn run_batch_on_sim(
+    schedules: &[&ChaosSchedule],
+    max_events: u64,
+    pool: BatchPool<CommitMsg>,
+) -> (
+    Vec<(ChaosReport, Option<rtc_model::Value>)>,
+    BatchPool<CommitMsg>,
+) {
+    let b = schedules.len();
+    if b == 0 {
+        return (Vec::new(), pool);
+    }
+    let n = schedules[0].n as u64;
+    let cfgs: Vec<CommitConfig> = schedules
+        .iter()
+        .map(|s| {
+            CommitConfig::new(s.n, s.t, TimingParams::default())
+                .expect("schedule population accepts its fault bound")
+                .with_early_abort(s.early_abort)
+        })
+        .collect();
+    let mut builder = BatchSimBuilder::from_pool(pool);
+    for (schedule, cfg) in schedules.iter().zip(&cfgs) {
+        builder
+            .instance(
+                SimBuilder::new(cfg.timing(), SeedCollection::new(schedule.seed))
+                    .fault_budget(schedule.crashes.len().max(schedule.t)),
+                commit_population(*cfg, &schedule.votes),
+            )
+            .expect("schedules of one batch group share a population");
+    }
+    let mut batch = builder.build();
+    let mut advs: Vec<ChaosAdversary> = schedules.iter().map(|s| ChaosAdversary::new(s)).collect();
+    let mut pending: Vec<Vec<(ChaosRestart, u64)>> = schedules
+        .iter()
+        .map(|schedule| {
+            schedule
+                .restarts
+                .iter()
+                .map(|r| {
+                    let crash_step = schedule.crash_of(r.victim).map(|c| c.at_step).unwrap_or(0);
+                    (r.clone(), (crash_step + r.delay_steps) * n)
+                })
+                .collect()
+        })
+        .collect();
+
+    let cutover = SERIAL_CUTOVER_EVENTS.max(2 * n).min(max_events);
+    let mut done = vec![false; b];
+    let mut fallback = vec![false; b];
+    let mut reports: Vec<Option<rtc_sim::RunReport>> = vec![None; b];
+    let mut caps = vec![0u64; b];
+    loop {
+        let mut any = false;
+        for l in 0..b {
+            if done[l] {
+                // A finished lane's counter is already past 0, so the
+                // segment executes nothing for it.
+                caps[l] = 0;
+                continue;
+            }
+            pending[l].sort_by_key(|(_, due)| *due);
+            caps[l] = pending[l]
+                .first()
+                .map_or(cutover, |(_, due)| (*due).min(cutover))
+                .max(1);
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        let met = batch
+            .run_segment(&mut advs, &caps, StopWhen::AllNonfaultyDecided)
+            .expect("chaos adversary stays within the model");
+        for l in 0..b {
+            if done[l] {
+                continue;
+            }
+            if met[l] || caps[l] >= max_events {
+                done[l] = true;
+                reports[l] = Some(batch.report(l, !met[l], true));
+                continue;
+            }
+            let event = batch.events_executed(l);
+            if event >= cutover {
+                // Solo-tail cutover: finish this instance on the
+                // serial engine instead (see the policy above).
+                done[l] = true;
+                fallback[l] = true;
+                continue;
+            }
+            let mut i = 0;
+            while i < pending[l].len() {
+                if pending[l][i].1 > event {
+                    i += 1;
+                } else if batch.is_crashed(l, pending[l][i].0.victim) {
+                    let (r, _) = pending[l].remove(i);
+                    let auto = if r.from_snapshot {
+                        CommitAutomaton::restore(&batch.automaton(l, r.victim).snapshot())
+                    } else {
+                        let fresh = CommitAutomaton::new(
+                            cfgs[l],
+                            r.victim,
+                            schedules[l].votes[r.victim.index()],
+                        );
+                        CommitAutomaton::restore_amnesiac(&fresh.snapshot())
+                    };
+                    batch
+                        .revive(l, r.victim, auto)
+                        .expect("victim is crashed at its restart");
+                } else {
+                    pending[l][i].1 = event + 2 * n;
+                    if pending[l][i].1 >= max_events {
+                        pending[l].remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(b);
+    for l in 0..b {
+        if fallback[l] {
+            out.push(run_on_sim_with_decision(schedules[l], max_events));
+            continue;
+        }
+        let report = reports[l].take().expect("every lane finished");
+        // Facts-based verification: failure-freeness and on-timeness
+        // come straight off the batch's per-lane tables, so verifying
+        // B lanes neither replays nor allocates a trace per instance.
+        let verdict = verify_commit_facts(
+            &schedules[l].votes,
+            &report,
+            batch.failure_free(l),
+            batch.is_on_time(l, cfgs[l].timing().k()),
+        );
+        let late_messages = batch.lateness(l).late_count();
+        let decision = report.decided_values().first().copied();
+        out.push((
+            ChaosReport {
+                substrate: Substrate::Sim,
+                outcome: classify_verdict(&verdict),
+                verdict,
+                late_messages,
+            },
+            decision,
+        ));
+    }
+    (out, batch.into_pool())
 }
 
 #[cfg(test)]

@@ -49,12 +49,14 @@
 
 mod coins;
 mod config;
+mod hot;
 pub mod properties;
 mod protocol1;
 mod protocol2;
 
 pub use coins::CoinList;
 pub use config::CommitConfig;
+pub use hot::VoteBoard;
 pub use protocol1::{Agreement, AgreementAutomaton, AgreementMsg};
 pub use protocol2::{
     commit_population, decisions_of, CommitAutomaton, CommitKind, CommitMsg, CommitSnapshot,

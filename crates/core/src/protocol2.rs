@@ -32,6 +32,7 @@ use rtc_model::{
 
 use crate::coins::CoinList;
 use crate::config::CommitConfig;
+use crate::hot::VoteBoard;
 use crate::protocol1::{Agreement, AgreementMsg};
 
 /// The payload kinds of Protocol 2.
@@ -122,17 +123,14 @@ pub struct CommitAutomaton {
     initval: Value,
     coins: Option<Arc<CoinList>>,
     phase: CommitPhase,
-    /// Which processors this one has heard a `GO` from, as a dense
-    /// per-processor table plus a count. Every delivery touches this
-    /// (any message carrying coins doubles as a `GO`), so it must be an
-    /// index, not a search tree.
-    go_seen: Vec<bool>,
-    go_count: usize,
+    /// Which processors this one has heard a `GO` from and their first
+    /// votes, as one dense per-processor byte table plus counts. Every
+    /// delivery touches this (any message carrying coins doubles as a
+    /// `GO`), so it must be an index, not a search tree — and a single
+    /// allocation whose cells concatenate `(instance, proc)`-dense
+    /// across batched instances (see [`VoteBoard`]).
+    board: VoteBoard,
     go_wait_start: Option<u64>,
-    /// First vote heard from each processor, dense by processor index
-    /// (same hot-path reasoning as `go_seen`).
-    votes: Vec<Option<Value>>,
-    vote_count: usize,
     vote_wait_start: Option<u64>,
     pending_agree: Vec<(ProcessorId, AgreementMsg)>,
     agreement: Option<Agreement>,
@@ -179,11 +177,8 @@ impl CommitAutomaton {
             initval,
             coins: None,
             phase: CommitPhase::AwaitGo,
-            go_seen: vec![false; cfg.population()],
-            go_count: 0,
+            board: VoteBoard::new(cfg.population()),
             go_wait_start: None,
-            votes: vec![None; cfg.population()],
-            vote_count: 0,
             vote_wait_start: None,
             pending_agree: Vec::new(),
             agreement: None,
@@ -253,22 +248,16 @@ impl CommitAutomaton {
 
     /// Records a `GO` heard from `p` (first one counts).
     fn mark_go(&mut self, p: ProcessorId) {
-        let slot = &mut self.go_seen[p.index()];
-        if !*slot {
-            *slot = true;
-            self.go_count += 1;
-        }
+        self.board.mark_go(p);
     }
 
     /// Records a vote heard from `p` (first one counts).
     fn mark_vote(&mut self, p: ProcessorId, v: Value) {
-        let slot = &mut self.votes[p.index()];
-        if slot.is_none() {
-            *slot = Some(v);
-            self.vote_count += 1;
-        }
+        self.board.mark_vote(p, v);
     }
 
+    // rtc-hot-loop(per-instance): runs once per delivered message on
+    // the batch stepping path.
     fn ingest(&mut self, d: &Delivery<CommitMsg>) {
         if let Some(coins) = &d.msg.go {
             // Any message carrying coins doubles as a GO from its sender;
@@ -318,7 +307,7 @@ impl CommitAutomaton {
             out.push(CommitKind::Go);
         }
         if matches!(self.phase, CommitPhase::AwaitVotes | CommitPhase::Agreeing) {
-            if let Some(v) = self.votes[self.id.index()] {
+            if let Some(v) = self.board.vote_of(self.id) {
                 out.push(CommitKind::Vote(v));
             }
         }
@@ -358,7 +347,7 @@ impl CommitAutomaton {
                     }
                 }
                 CommitPhase::AwaitGoQuorum => {
-                    let all_go = self.go_count == n;
+                    let all_go = self.board.go_count() == n;
                     if !all_go && !self.timed_out(self.go_wait_start) {
                         break;
                     }
@@ -378,12 +367,12 @@ impl CommitAutomaton {
                     self.phase = CommitPhase::AwaitVotes;
                 }
                 CommitPhase::AwaitVotes => {
-                    let all_votes = self.vote_count == n;
+                    let all_votes = self.board.vote_count() == n;
                     if !all_votes && !self.timed_out(self.vote_wait_start) {
                         break;
                     }
                     // Instructions 9–11: x_p = 1 iff n commit votes.
-                    let xp = if all_votes && self.votes.iter().flatten().all(|v| *v == Value::One) {
+                    let xp = if all_votes && self.board.all_votes_are_one() {
                         Value::One
                     } else {
                         Value::Zero
@@ -532,29 +521,30 @@ impl Automaton for CommitAutomaton {
             None => Arc::clone(&base),
         };
         let n = self.cfg.population();
-        ProcessorId::all(n)
-            .filter(|q| *q != self.id)
-            .filter_map(|q| {
-                // At most one message per destination per step: the
-                // pinger's catch-up reply rides the broadcast bundle.
-                let dest_kinds = if replies.contains(&q) {
-                    Arc::clone(&extended)
-                } else {
-                    Arc::clone(&base)
-                };
-                if dest_kinds.is_empty() {
-                    return None;
-                }
-                Some(Send::new(
-                    q,
-                    CommitMsg {
-                        // rtc-allow(alloc-in-fanout): Option<Arc> clone is a refcount bump
-                        go: go.clone(),
-                        kinds: dest_kinds,
-                    },
-                ))
-            })
-            .collect()
+        // Exact-size the fan-out (at most one message per peer) so the
+        // send path allocates the output vector once, never regrows.
+        let mut outs = Vec::with_capacity(n - 1);
+        for q in ProcessorId::all(n).filter(|q| *q != self.id) {
+            // At most one message per destination per step: the
+            // pinger's catch-up reply rides the broadcast bundle.
+            let dest_kinds = if replies.contains(&q) {
+                Arc::clone(&extended)
+            } else {
+                Arc::clone(&base)
+            };
+            if dest_kinds.is_empty() {
+                continue;
+            }
+            outs.push(Send::new(
+                q,
+                CommitMsg {
+                    // rtc-allow(alloc-in-fanout): Option<Arc> clone is a refcount bump
+                    go: go.clone(),
+                    kinds: dest_kinds,
+                },
+            ));
+        }
+        outs
     }
 
     fn status(&self) -> Status {

@@ -59,11 +59,14 @@ impl SynchronousAdversary {
 impl Adversary for SynchronousAdversary {
     fn next(&mut self, view: &PatternView<'_>) -> Action {
         let p = next_alive(view, &mut self.cursor).expect("some processor is alive");
-        let deliver = view
-            .pending_iter(p)
-            .filter(|m| view.event().saturating_sub(m.send_event) >= self.lag)
-            .map(|m| m.id)
-            .collect();
+        // Exact-size the delivery list (`pending_count` is O(1)) so the
+        // hottest scheduler allocates once per step, never regrows.
+        let mut deliver = Vec::with_capacity(view.pending_count(p));
+        deliver.extend(
+            view.pending_iter(p)
+                .filter(|m| view.event().saturating_sub(m.send_event) >= self.lag)
+                .map(|m| m.id),
+        );
         Action::Step { p, deliver }
     }
 }
@@ -602,12 +605,13 @@ mod tests {
     use rtc_model::LocalClock;
 
     use crate::envelope::MsgMeta;
-    use crate::store::MsgStore;
+    use crate::store::{MsgStore, StoreLane};
 
     /// Owns the engine-side state a [`PatternView`] borrows from, built
     /// from the per-destination buffer contents a test describes.
     struct Fixture {
         store: MsgStore,
+        lane: StoreLane,
         last_sent: Vec<Vec<MsgId>>,
         clocks: Vec<LocalClock>,
         crashed: Vec<bool>,
@@ -624,9 +628,10 @@ mod tests {
     ) -> Fixture {
         let n = buffers.len();
         let mut store = MsgStore::new(n);
+        let mut lane = StoreLane::new(0);
         for metas in buffers {
             for m in metas {
-                store.insert(*m);
+                store.insert(&mut lane, *m);
             }
         }
         // Rebuild each processor's droppable-sends cache the way the
@@ -646,6 +651,7 @@ mod tests {
         }
         Fixture {
             store,
+            lane,
             last_sent,
             clocks: clocks.to_vec(),
             crashed: crashed.to_vec(),
@@ -658,6 +664,7 @@ mod tests {
         fn view(&self) -> PatternView<'_> {
             PatternView {
                 store: &self.store,
+                lane: &self.lane,
                 last_sent: &self.last_sent,
                 clocks: &self.clocks,
                 crashed: &self.crashed,

@@ -11,7 +11,7 @@
 use rtc_model::{LocalClock, ProcessorId};
 
 use crate::envelope::{MsgId, MsgMeta};
-use crate::store::MsgStore;
+use crate::store::{MsgStore, StoreLane};
 
 /// Pattern-visible description of one buffered (sent, undelivered)
 /// message.
@@ -100,6 +100,9 @@ pub enum Action {
 #[derive(Debug)]
 pub struct PatternView<'a> {
     pub(crate) store: &'a MsgStore,
+    /// The viewed instance's lane into the (possibly shared) store:
+    /// its destination base plus the dense per-instance id → slot map.
+    pub(crate) lane: &'a StoreLane,
     /// Per-processor ids of the messages it emitted at its most recent
     /// step, sorted by destination (the order the old buffer flatten
     /// exposed). Some may have been delivered since; `last_sends_of`
@@ -149,12 +152,14 @@ impl<'a> PatternView<'a> {
     /// Iterates `p`'s buffered messages in insertion (= send-event)
     /// order without allocating — same order as [`PatternView::pending`].
     pub fn pending_iter(&self, p: ProcessorId) -> impl Iterator<Item = MsgHandle> + '_ {
-        self.store.iter_dest(p.index()).map(MsgHandle::from_meta)
+        self.store
+            .iter_dest(self.lane, p.index())
+            .map(MsgHandle::from_meta)
     }
 
     /// Number of messages currently buffered for `p`, in O(1).
     pub fn pending_count(&self, p: ProcessorId) -> usize {
-        self.store.len_of(p.index())
+        self.store.len_of(self.lane, p.index())
     }
 
     /// Handles of all undelivered messages sent by `p` at its most
@@ -166,7 +171,7 @@ impl<'a> PatternView<'a> {
         };
         self.last_sent[p.index()]
             .iter()
-            .filter_map(|id| self.store.lookup(*id))
+            .filter_map(|id| self.store.lookup(self.lane, *id))
             .filter(|m| m.from == p && m.send_event == last)
             .map(MsgHandle::from_meta)
             .collect()
@@ -218,6 +223,26 @@ pub trait Adversary {
     }
 }
 
+impl<T: Adversary + ?Sized> Adversary for Box<T> {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        (**self).next(view)
+    }
+
+    fn admissible(&self) -> bool {
+        (**self).admissible()
+    }
+}
+
+impl<T: Adversary + ?Sized> Adversary for &mut T {
+    fn next(&mut self, view: &PatternView<'_>) -> Action {
+        (**self).next(view)
+    }
+
+    fn admissible(&self) -> bool {
+        (**self).admissible()
+    }
+}
+
 /// A view that additionally exposes message payloads.
 ///
 /// **This exceeds the paper's adversary model.** It exists for
@@ -241,7 +266,7 @@ impl<'a, M> ContentView<'a, M> {
 
     /// The payload of a buffered message, if it is still pending.
     pub fn payload(&self, id: MsgId) -> Option<&M> {
-        let slot = self.pattern.store.slot_index(id)?;
+        let slot = self.pattern.store.slot_index(self.pattern.lane, id)?;
         self.payloads.get(slot)?.as_ref()
     }
 
@@ -249,7 +274,7 @@ impl<'a, M> ContentView<'a, M> {
     pub fn pending_with_payloads(&self, p: ProcessorId) -> Vec<(MsgHandle, &M)> {
         self.pattern
             .store
-            .iter_dest_slots(p.index())
+            .iter_dest_slots(self.pattern.lane, p.index())
             .filter_map(|(slot, m)| {
                 let load = self.payloads.get(slot).and_then(|o| o.as_ref())?;
                 Some((MsgHandle::from_meta(m), load))
@@ -299,13 +324,15 @@ mod tests {
     #[test]
     fn pattern_view_exposes_pending_and_budget() {
         let mut store = MsgStore::new(2);
-        store.insert(meta(0, 1, 0, 5));
+        let mut lane = StoreLane::new(0);
+        store.insert(&mut lane, meta(0, 1, 0, 5));
         let last_sent = vec![vec![], vec![MsgId(0)]];
         let clocks = vec![LocalClock::new(2), LocalClock::new(3)];
         let crashed = vec![false, false];
         let last = vec![Some(4), Some(5)];
         let view = PatternView {
             store: &store,
+            lane: &lane,
             last_sent: &last_sent,
             clocks: &clocks,
             crashed: &crashed,
@@ -333,8 +360,9 @@ mod tests {
     #[test]
     fn last_sends_filters_by_event() {
         let mut store = MsgStore::new(2);
-        store.insert(meta(0, 0, 1, 7));
-        store.insert(meta(1, 0, 1, 9));
+        let mut lane = StoreLane::new(0);
+        store.insert(&mut lane, meta(0, 0, 1, 7));
+        store.insert(&mut lane, meta(1, 0, 1, 9));
         // A stale cache entry from an earlier step (id 0, sent at event
         // 7) must be filtered out by the send_event check.
         let last_sent = vec![vec![MsgId(0), MsgId(1)], vec![]];
@@ -343,6 +371,7 @@ mod tests {
         let last = vec![Some(9), None];
         let view = PatternView {
             store: &store,
+            lane: &lane,
             last_sent: &last_sent,
             clocks: &clocks,
             crashed: &crashed,
@@ -360,7 +389,8 @@ mod tests {
     #[test]
     fn content_view_finds_payload() {
         let mut store = MsgStore::new(1);
-        let slot = store.insert(meta(0, 1, 0, 5));
+        let mut lane = StoreLane::new(0);
+        let slot = store.insert(&mut lane, meta(0, 1, 0, 5));
         let mut payloads = vec![None; slot + 1];
         payloads[slot] = Some("hello");
         let last_sent = vec![vec![]];
@@ -370,6 +400,7 @@ mod tests {
         let view = ContentView {
             pattern: PatternView {
                 store: &store,
+                lane: &lane,
                 last_sent: &last_sent,
                 clocks: &clocks,
                 crashed: &crashed,

@@ -1,5 +1,21 @@
 //! The discrete-event engine: applies adversary-chosen events to a
 //! population of automata, enforcing the model's rules.
+//!
+//! The event-application machinery is split in two so the batched
+//! multi-instance engine ([`crate::BatchSim`]) can share it with the
+//! single-instance [`Sim`]:
+//!
+//! * [`Lane`] holds everything *per commit instance*: the automata,
+//!   clocks, crash/decision flags, fairness bookkeeping, the lateness
+//!   monitor, and the instance's [`StoreLane`] view into the message
+//!   store. All `apply_*` bodies live here.
+//! * [`Shared`] holds what instances can safely share: the
+//!   `(instance, dst)`-keyed [`MsgStore`] slab, the slot-parallel
+//!   payload slab, and the delivery/send scratch buffers.
+//!
+//! [`Sim`] is the one-lane case (lane base 0 over a store of `n`
+//! destinations) and behaves byte-identically to the pre-split engine —
+//! the golden digests of `tests/scheduler_equivalence.rs` pin this.
 
 use std::error::Error;
 use std::fmt;
@@ -13,8 +29,8 @@ use crate::adversary::{Action, Adversary, ContentAdversary, ContentView, Pattern
 
 use crate::envelope::{MsgId, MsgMeta};
 use crate::lateness::LatenessMonitor;
-use crate::store::MsgStore;
-use crate::trace::{DecisionRecord, MsgRecord, Trace};
+use crate::store::{MsgStore, StoreLane};
+use crate::trace::{DecisionRecord, MsgRecord, Trace, TraceSink};
 
 /// An active network partition: processors in different groups cannot
 /// exchange messages until the heal event.
@@ -322,13 +338,14 @@ impl SimBuilder {
         self
     }
 
-    /// Builds the engine over one automaton per processor.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::PopulationTooLarge`] if `procs` is empty or
-    /// the automata ids are not exactly `0..n` in order.
-    pub fn build<A: Automaton>(self, procs: Vec<A>) -> Result<Sim<A>, ModelError> {
+    /// Builds one instance [`Lane`] over the given automata and store
+    /// lane — the shared constructor behind [`SimBuilder::build`] (one
+    /// lane at base 0) and the batch builder (one lane per instance).
+    pub(crate) fn build_lane<A: Automaton>(
+        self,
+        procs: Vec<A>,
+        store_lane: StoreLane,
+    ) -> Result<Lane<A>, ModelError> {
         let n = procs.len();
         if n == 0 {
             return Err(ModelError::PopulationTooLarge { requested: 0 });
@@ -342,7 +359,7 @@ impl SimBuilder {
             .fairness
             .unwrap_or_else(|| FairnessParams::for_population(n));
         let monitor = LatenessMonitor::new(n, self.timing.k());
-        Ok(Sim {
+        Ok(Lane {
             timing: self.timing,
             seeds: self.seeds,
             fault_budget: self.fault_budget,
@@ -351,8 +368,7 @@ impl SimBuilder {
             clocks: vec![LocalClock::ZERO; n],
             crashed: vec![false; n],
             decided: vec![false; n],
-            store: MsgStore::new(n),
-            payloads: Vec::new(),
+            store_lane,
             last_sent: vec![Vec::new(); n],
             last_step_event: vec![None; n],
             last_sched_event: vec![0; n],
@@ -360,21 +376,85 @@ impl SimBuilder {
             next_msg: 0,
             crashes_used: 0,
             next_forced_at: 0,
-            trace: Trace::new(n),
             dest_seen: vec![false; n],
-            deliv_scratch: Vec::new(),
-            sent_scratch: Vec::new(),
-            stop_scratch: Vec::new(),
             partition: None,
             reordered: false,
             monitor,
         })
     }
+
+    /// Builds the engine over one automaton per processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PopulationTooLarge`] if `procs` is empty or
+    /// the automata ids are not exactly `0..n` in order.
+    pub fn build<A: Automaton>(self, procs: Vec<A>) -> Result<Sim<A>, ModelError> {
+        let n = procs.len();
+        let lane = self.build_lane(procs, StoreLane::new(0))?;
+        Ok(Sim {
+            lane,
+            shared: Shared::new(n),
+            trace: Trace::new(n),
+            stop_scratch: Vec::new(),
+        })
+    }
 }
 
-/// The discrete-event simulation engine (see the crate docs for the
-/// model it implements).
-pub struct Sim<A: Automaton> {
+/// State shared across all instance lanes of one engine: the
+/// `(instance, dst)`-keyed message-store slab, the slot-parallel payload
+/// slab, and the scratch buffers the stepping path reuses. One instance
+/// ([`Sim`]) is the single-lane case.
+pub(crate) struct Shared<M> {
+    /// Indexed metadata of all in-flight messages: O(1) insert, lookup,
+    /// and removal, with per-destination insertion-ordered lists.
+    pub(crate) store: MsgStore,
+    /// Payloads of in-flight messages, parallel to the store's slots:
+    /// `payloads[slot]` belongs to the message the store keeps in
+    /// `slot`. Recycled together with the slots — across instances in a
+    /// batch — so steady-state runs stop growing it.
+    pub(crate) payloads: Vec<Option<M>>,
+    /// Scratch for the deliveries handed to `Automaton::step`, reused
+    /// across steps (and across lanes in a batch).
+    deliv_scratch: Vec<Delivery<M>>,
+    /// Scratch for the ids sent at the current step, reused across
+    /// steps.
+    sent_scratch: Vec<MsgId>,
+}
+
+impl<M> Shared<M> {
+    /// An empty shared plane for `total_dests` global destinations.
+    pub(crate) fn new(total_dests: usize) -> Shared<M> {
+        Shared {
+            store: MsgStore::new(total_dests),
+            payloads: Vec::new(),
+            deliv_scratch: Vec::new(),
+            sent_scratch: Vec::new(),
+        }
+    }
+
+    /// Empties the plane for reuse with `total_dests` destinations,
+    /// keeping every allocation (slab, payloads, scratches).
+    pub(crate) fn reset(&mut self, total_dests: usize) {
+        self.store.reset(total_dests);
+        self.payloads.clear();
+        self.deliv_scratch.clear();
+        self.sent_scratch.clear();
+    }
+}
+
+impl<M> fmt::Debug for Shared<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("payload_slots", &self.payloads.len())
+            .finish()
+    }
+}
+
+/// One commit instance's complete per-instance state plus the event
+/// application rules. See the module docs for the [`Lane`]/[`Shared`]
+/// split.
+pub(crate) struct Lane<A: Automaton> {
     timing: TimingParams,
     seeds: SeedCollection,
     fault_budget: usize,
@@ -383,14 +463,9 @@ pub struct Sim<A: Automaton> {
     clocks: Vec<LocalClock>,
     crashed: Vec<bool>,
     decided: Vec<bool>,
-    /// Indexed metadata of all in-flight messages: O(1) insert, lookup,
-    /// and removal, with per-destination insertion-ordered lists.
-    store: MsgStore,
-    /// Payloads of in-flight messages, parallel to the store's slots:
-    /// `payloads[slot]` belongs to the message the store keeps in
-    /// `slot`. Recycled together with the slots, so steady-state runs
-    /// stop growing it.
-    payloads: Vec<Option<A::Msg>>,
+    /// This instance's view into the shared store: destination base
+    /// offset plus the dense per-instance `id → slot` map.
+    store_lane: StoreLane,
     /// Per-processor ids of the messages emitted at its most recent
     /// step, sorted by destination — the candidates a crash may drop.
     last_sent: Vec<Vec<MsgId>>,
@@ -407,19 +482,9 @@ pub struct Sim<A: Automaton> {
     /// whenever a scan comes up empty, and reset on revive (a revived
     /// processor re-exposes its possibly-overdue backlog).
     next_forced_at: u64,
-    trace: Trace,
     /// Scratch for the one-message-per-destination check, reused across
     /// steps so the fan-out validation costs no allocation.
     dest_seen: Vec<bool>,
-    /// Scratch for the deliveries handed to `Automaton::step`, reused
-    /// across steps.
-    deliv_scratch: Vec<Delivery<A::Msg>>,
-    /// Scratch for the ids sent at the current step, reused across
-    /// steps.
-    sent_scratch: Vec<MsgId>,
-    /// Scratch for the per-processor stop-condition flags used by
-    /// `run_core`, reused across run segments.
-    stop_scratch: Vec<bool>,
     /// The active partition, if any; cleared lazily once the event
     /// counter passes its heal point.
     partition: Option<PartitionState>,
@@ -431,9 +496,579 @@ pub struct Sim<A: Automaton> {
     monitor: LatenessMonitor,
 }
 
-impl<A: Automaton> fmt::Debug for Sim<A> {
+impl<A: Automaton> Lane<A> {
+    /// Number of processors in this instance.
+    pub(crate) fn population(&self) -> usize {
+        self.autos.len()
+    }
+
+    /// The timing constants of this instance.
+    pub(crate) fn timing(&self) -> TimingParams {
+        self.timing
+    }
+
+    /// The fault budget `t`.
+    pub(crate) fn fault_budget(&self) -> usize {
+        self.fault_budget
+    }
+
+    /// This instance's event counter.
+    pub(crate) fn event(&self) -> u64 {
+        self.event
+    }
+
+    /// Whether processor `i` is currently crashed.
+    pub(crate) fn is_crashed_idx(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// The online lateness monitor.
+    pub(crate) fn monitor(&self) -> &LatenessMonitor {
+        &self.monitor
+    }
+
+    /// Immutable access to one automaton.
+    pub(crate) fn automaton(&self, i: usize) -> &A {
+        &self.autos[i]
+    }
+
+    /// Current statuses, indexed by processor.
+    pub(crate) fn statuses(&self) -> Vec<Status> {
+        self.autos.iter().map(Automaton::status).collect()
+    }
+
+    /// Builds a [`RunReport`] for this instance's run so far.
+    pub(crate) fn report(&self, stalled: bool, admissible: bool) -> RunReport {
+        RunReport {
+            statuses: self.statuses(),
+            crashed: self.crashed.clone(),
+            events: self.event,
+            stalled,
+            admissible,
+        }
+    }
+
+    /// Whether processor `i` currently satisfies the stop condition.
+    pub(crate) fn proc_ok(&self, i: usize, stop: StopWhen) -> bool {
+        self.crashed[i]
+            || match stop {
+                StopWhen::AllNonfaultyDecided => self.autos[i].status().is_decided(),
+                StopWhen::AllNonfaultyHalted => matches!(self.autos[i].status(), Status::Halted(_)),
+            }
+    }
+
+    /// The pattern-only adversary view over this instance.
+    pub(crate) fn pattern_view<'a>(&'a self, store: &'a MsgStore) -> PatternView<'a> {
+        PatternView {
+            store,
+            lane: &self.store_lane,
+            last_sent: &self.last_sent,
+            clocks: &self.clocks,
+            crashed: &self.crashed,
+            last_step_event: &self.last_step_event,
+            event: self.event,
+            fault_budget: self.fault_budget,
+            crashes_used: self.crashes_used,
+            partition: self
+                .partition
+                .as_ref()
+                .map(|ps| (ps.group.as_slice(), ps.heal_at)),
+        }
+    }
+
+    /// Drops the active partition once the event counter reaches its
+    /// heal point, restoring unrestricted delivery.
+    fn refresh_partition(&mut self) {
+        if let Some(ps) = &self.partition {
+            if self.event >= ps.heal_at {
+                self.partition = None;
+            }
+        }
+    }
+
+    /// The fairness envelope: returns an overriding action when the
+    /// adversary has starved a message or a processor past the limits.
+    ///
+    /// Cheap in the common case: below the cached `next_forced_at`
+    /// bound no trigger is possible and the scan is skipped. When a
+    /// scan runs and finds nothing, the exact next trigger is
+    /// recomputed from the per-destination head messages (send events
+    /// are nondecreasing within a destination, so the head is the
+    /// earliest) and the per-processor idle clocks.
+    pub(crate) fn forced_action(&mut self, store: &MsgStore) -> Option<Action> {
+        if self.event < self.next_forced_at {
+            return None;
+        }
+        self.refresh_partition();
+        let defer = self.fairness.max_defer_events;
+        let idle = self.fairness.max_idle_events;
+        // A hostile network perturbs the scan: an active partition
+        // blocks some messages (they must not be force-delivered until
+        // the heal), and a past reorder breaks the sorted-prefix
+        // invariant the fast path depends on.
+        let hostile = self.partition.is_some() || self.reordered;
+        // Overdue guaranteed messages to alive processors first. Within
+        // a destination send events are nondecreasing, so the overdue
+        // messages are exactly a prefix of its pending list (every
+        // buffered message is guaranteed — drops happen at crash time).
+        for i in 0..self.autos.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            // rtc-allow(per-instance-alloc): fairness rescue is the cold
+            // path — it only runs when the adversary starved a message
+            // past the envelope, never in steady-state stepping.
+            let overdue: Vec<MsgId> = if hostile {
+                let part = self.partition.as_ref();
+                store
+                    .iter_dest(&self.store_lane, i)
+                    .filter(|m| {
+                        m.guaranteed
+                            && self.event.saturating_sub(m.send_event) > defer
+                            && part.is_none_or(|ps| !ps.blocks(m.from, m.to))
+                    })
+                    .map(|m| m.id)
+                    .collect()
+            } else {
+                store
+                    .iter_dest(&self.store_lane, i)
+                    .take_while(|m| m.guaranteed && self.event.saturating_sub(m.send_event) > defer)
+                    .map(|m| m.id)
+                    .collect()
+            };
+            if !overdue.is_empty() {
+                return Some(Action::Step {
+                    p: ProcessorId::new(i),
+                    deliver: overdue,
+                });
+            }
+        }
+        // Then starved processors.
+        for i in 0..self.autos.len() {
+            if !self.crashed[i] && self.event.saturating_sub(self.last_sched_event[i]) > idle {
+                return Some(Action::Step {
+                    p: ProcessorId::new(i),
+                    deliver: Vec::new(),
+                });
+            }
+        }
+        // Nothing triggered: compute the exact earliest event at which
+        // anything could. Heads only move later and idle clocks only
+        // reset forward, so the bound stays valid until a send
+        // (min-updated there) or a revive (reset there) perturbs it.
+        // Partition-blocked messages cannot be forced before the heal
+        // point, so their candidate is clamped to it — that guarantees a
+        // rescan right at the heal, which is what makes delivery across
+        // a healed partition eventual.
+        let mut next = u64::MAX;
+        for i in 0..self.autos.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            if hostile {
+                let part = self.partition.as_ref();
+                for m in store.iter_dest(&self.store_lane, i) {
+                    let mut due = m.send_event.saturating_add(defer).saturating_add(1);
+                    if let Some(ps) = part {
+                        if ps.blocks(m.from, m.to) {
+                            due = due.max(ps.heal_at);
+                        }
+                    }
+                    next = next.min(due);
+                }
+            } else if let Some(m) = store.head_meta(&self.store_lane, i) {
+                next = next.min(m.send_event.saturating_add(defer).saturating_add(1));
+            }
+            next = next.min(
+                self.last_sched_event[i]
+                    .saturating_add(idle)
+                    .saturating_add(1),
+            );
+        }
+        self.next_forced_at = next;
+        None
+    }
+
+    /// Applies one adversary-chosen event to this instance.
+    pub(crate) fn apply(
+        &mut self,
+        action: Action,
+        admissible: bool,
+        shared: &mut Shared<A::Msg>,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        self.refresh_partition();
+        match action {
+            Action::Step { p, deliver } => self.apply_step(p, deliver, shared, trace),
+            Action::Crash { p, drop } => self.apply_crash(p, drop, admissible, shared, trace),
+            Action::Partition { groups, heal_at } => {
+                self.apply_partition(groups, heal_at, admissible, trace)
+            }
+            Action::Duplicate { id } => self.apply_duplicate(id, shared, trace),
+            Action::Reorder { id } => self.apply_reorder(id, shared, trace),
+        }
+    }
+
+    // rtc-hot-loop(per-instance): the per-event apply path shared by
+    // the serial engine and every batch lane.
+    fn apply_step(
+        &mut self,
+        p: ProcessorId,
+        deliver: Vec<MsgId>,
+        shared: &mut Shared<A::Msg>,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        let i = p.index();
+        if i >= self.autos.len() {
+            return Err(SimError::UnknownProcessor { p });
+        }
+        if self.crashed[i] {
+            return Err(SimError::StepOnCrashed { p });
+        }
+        // Extract the deliveries from p's buffer: O(1) per id through
+        // the store, into a scratch vector reused across steps.
+        let mut deliveries = std::mem::take(&mut shared.deliv_scratch);
+        deliveries.clear();
+        for id in &deliver {
+            // An active partition (refreshed in `apply`, so it is live)
+            // vetoes any delivery crossing the group boundary.
+            if let Some(ps) = &self.partition {
+                if let Some(m) = shared.store.lookup(&self.store_lane, *id) {
+                    if ps.blocks(m.from, m.to) {
+                        shared.deliv_scratch = deliveries;
+                        return Err(SimError::DeliverPartitioned { p, id: *id });
+                    }
+                }
+            }
+            let Some((slot, meta)) = shared.store.remove_for(&mut self.store_lane, *id, i) else {
+                shared.deliv_scratch = deliveries;
+                return Err(SimError::DeliverNotBuffered { p, id: *id });
+            };
+            let Some(payload) = shared.payloads[slot].take() else {
+                shared.deliv_scratch = deliveries;
+                return Err(SimError::DeliverNotBuffered { p, id: *id });
+            };
+            deliveries.push(Delivery::new(meta.from, payload));
+        }
+        // Step the automaton with this step's random number.
+        let mut rng = self.seeds.step_rng(p, self.clocks[i]);
+        let outs = self.autos[i].step(&deliveries, &mut rng);
+        deliveries.clear();
+        shared.deliv_scratch = deliveries;
+        self.clocks[i] = self.clocks[i].tick();
+        let clock_after = self.clocks[i];
+        // Validate one-message-per-destination and enqueue.
+        self.dest_seen.fill(false);
+        let mut sent_ids = std::mem::take(&mut shared.sent_scratch);
+        sent_ids.clear();
+        let mut dest_sorted = true;
+        let mut prev_dest = 0usize;
+        for out in outs {
+            if out.to.index() >= self.autos.len() {
+                shared.sent_scratch = sent_ids;
+                return Err(SimError::UnknownProcessor { p: out.to });
+            }
+            if std::mem::replace(&mut self.dest_seen[out.to.index()], true) {
+                shared.sent_scratch = sent_ids;
+                return Err(SimError::DuplicateDestination { p, to: out.to });
+            }
+            if !sent_ids.is_empty() && out.to.index() < prev_dest {
+                dest_sorted = false;
+            }
+            prev_dest = out.to.index();
+            let id = MsgId(self.next_msg);
+            self.next_msg += 1;
+            let meta = MsgMeta {
+                id,
+                from: p,
+                to: out.to,
+                send_event: self.event,
+                sender_clock: clock_after,
+                guaranteed: true,
+            };
+            let slot = shared.store.insert(&mut self.store_lane, meta);
+            if slot == shared.payloads.len() {
+                shared.payloads.push(Some(out.msg));
+            } else {
+                shared.payloads[slot] = Some(out.msg);
+            }
+            trace.push_msg(MsgRecord {
+                id,
+                from: p,
+                to: out.to,
+                send_event: self.event,
+                sender_clock: clock_after,
+                recv_event: None,
+                recv_clock: None,
+                dropped: false,
+            });
+            sent_ids.push(id);
+        }
+        if !sent_ids.is_empty() {
+            // A fresh message could become overdue before the cached
+            // fairness bound; pull the bound in (conservatively).
+            self.next_forced_at = self.next_forced_at.min(
+                self.event
+                    .saturating_add(self.fairness.max_defer_events)
+                    .saturating_add(1),
+            );
+            // Refresh p's droppable-sends cache, ordered by destination
+            // (at most one message per destination per step, so the
+            // destination is a total order on this step's sends). The
+            // send loop already saw every destination; automata emit in
+            // ascending order, so the sort almost never runs.
+            let store = &shared.store;
+            let store_lane = &self.store_lane;
+            let cache = &mut self.last_sent[i];
+            cache.clear();
+            cache.extend_from_slice(&sent_ids);
+            if !dest_sorted {
+                cache.sort_unstable_by_key(|id| {
+                    store
+                        .lookup(store_lane, *id)
+                        .map_or(usize::MAX, |m| m.to.index())
+                });
+            }
+        } else {
+            self.last_sent[i].clear();
+        }
+        // The receiving step itself counts toward the lateness interval,
+        // so it is recorded before the deliveries are classified.
+        self.monitor.note_step(i, self.event);
+        for id in &deliver {
+            trace.note_delivery(*id, self.event, clock_after);
+            let send_event = trace.send_event_of(*id);
+            if self.monitor.classify_delivery(*id, send_event) {
+                trace.mark_late(*id);
+            }
+        }
+        trace.push_step(p, clock_after, &deliver, &sent_ids);
+        sent_ids.clear();
+        shared.sent_scratch = sent_ids;
+        // Decision bookkeeping.
+        if !self.decided[i] {
+            if let Some(value) = self.autos[i].status().value() {
+                self.decided[i] = true;
+                trace.push_decision(DecisionRecord {
+                    p,
+                    value,
+                    clock: clock_after,
+                    event: self.event,
+                });
+            }
+        }
+        self.last_step_event[i] = Some(self.event);
+        self.last_sched_event[i] = self.event;
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_crash(
+        &mut self,
+        p: ProcessorId,
+        drop: Vec<MsgId>,
+        admissible: bool,
+        shared: &mut Shared<A::Msg>,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        let i = p.index();
+        if i >= self.autos.len() {
+            return Err(SimError::UnknownProcessor { p });
+        }
+        if self.crashed[i] {
+            return Err(SimError::StepOnCrashed { p });
+        }
+        if admissible && self.crashes_used >= self.fault_budget {
+            return Err(SimError::FaultBudgetExceeded {
+                t: self.fault_budget,
+            });
+        }
+        // Only messages from p's final step may be dropped.
+        let last = self.last_step_event[i];
+        for id in &drop {
+            match (shared.store.lookup(&self.store_lane, *id), last) {
+                (Some(m), Some(last_ev)) if m.from == p && m.send_event == last_ev => {}
+                _ => return Err(SimError::DropNotDroppable { p, id: *id }),
+            }
+        }
+        for id in &drop {
+            if let Some((slot, _)) = shared.store.remove(&mut self.store_lane, *id) {
+                shared.payloads[slot] = None;
+            }
+            trace.note_drop(*id);
+        }
+        self.crashed[i] = true;
+        self.crashes_used += 1;
+        trace.push_crash(p);
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_partition(
+        &mut self,
+        groups: Vec<u32>,
+        heal_at: u64,
+        admissible: bool,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        let n = self.autos.len();
+        if groups.len() != n {
+            return Err(SimError::MalformedPartition {
+                expected: n,
+                got: groups.len(),
+            });
+        }
+        if admissible {
+            // A partition outliving the deferral bound would let the
+            // adversary starve a guaranteed message past the envelope,
+            // contradicting eventual delivery.
+            let limit = self.event.saturating_add(self.fairness.max_defer_events);
+            if heal_at > limit {
+                return Err(SimError::PartitionTooLong { heal_at, limit });
+            }
+        }
+        trace.push_partition(&groups, heal_at);
+        self.partition = Some(PartitionState {
+            group: groups,
+            heal_at,
+        });
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_duplicate(
+        &mut self,
+        id: MsgId,
+        shared: &mut Shared<A::Msg>,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        let Some(slot) = shared.store.slot_index(&self.store_lane, id) else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        let Some(orig) = shared.store.lookup(&self.store_lane, id).copied() else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        let Some(payload) = shared.payloads[slot].clone() else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        // The copy is a first-class message: fresh dense id, sent "now"
+        // (so tail insertion keeps per-destination send order), same
+        // endpoints and logical send clock as the original, and
+        // guaranteed — the network may duplicate, never forge or drop.
+        let copy = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let meta = MsgMeta {
+            id: copy,
+            from: orig.from,
+            to: orig.to,
+            send_event: self.event,
+            sender_clock: orig.sender_clock,
+            guaranteed: true,
+        };
+        let new_slot = shared.store.insert(&mut self.store_lane, meta);
+        if new_slot == shared.payloads.len() {
+            shared.payloads.push(Some(payload));
+        } else {
+            shared.payloads[new_slot] = Some(payload);
+        }
+        trace.push_msg(MsgRecord {
+            id: copy,
+            from: orig.from,
+            to: orig.to,
+            send_event: self.event,
+            sender_clock: orig.sender_clock,
+            recv_event: None,
+            recv_clock: None,
+            dropped: false,
+        });
+        trace.push_duplicate(orig.from, id, copy);
+        // The copy could become overdue before the cached fairness
+        // bound; pull the bound in, exactly as a fresh send does.
+        self.next_forced_at = self.next_forced_at.min(
+            self.event
+                .saturating_add(self.fairness.max_defer_events)
+                .saturating_add(1),
+        );
+        self.event += 1;
+        Ok(())
+    }
+
+    fn apply_reorder(
+        &mut self,
+        id: MsgId,
+        shared: &mut Shared<A::Msg>,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        let Some(meta) = shared.store.lookup(&self.store_lane, id).copied() else {
+            return Err(SimError::MsgNotBuffered { id });
+        };
+        let moved = shared.store.move_to_back(&mut self.store_lane, id);
+        debug_assert!(moved, "lookup succeeded, so the move must too");
+        // Per-destination lists are no longer sorted by send event; the
+        // fairness envelope switches to its full-scan path for the rest
+        // of the run.
+        self.reordered = true;
+        trace.push_reorder(meta.to, id);
+        self.event += 1;
+        Ok(())
+    }
+
+    /// Revives a crashed processor with a replacement automaton. See
+    /// [`Sim::revive`] for the semantics.
+    pub(crate) fn revive(
+        &mut self,
+        p: ProcessorId,
+        auto: A,
+        trace: &mut impl TraceSink,
+    ) -> Result<(), SimError> {
+        let i = p.index();
+        if i >= self.autos.len() {
+            return Err(SimError::UnknownProcessor { p });
+        }
+        if !self.crashed[i] {
+            return Err(SimError::ReviveNotCrashed { p });
+        }
+        self.crashed[i] = false;
+        // Decision records stay monotone: a decision already in the
+        // trace is never re-recorded, and a snapshot restored past its
+        // decision point must not produce a late duplicate record.
+        self.decided[i] = self.decided[i] || auto.status().value().is_some();
+        self.autos[i] = auto;
+        // Restart the fairness clock so the scheduler is not forced to
+        // schedule the revived processor immediately.
+        self.last_sched_event[i] = self.event;
+        // The revived processor's buffered backlog re-enters the
+        // fairness scan and may already be overdue; the cached bound no
+        // longer covers it, so force a rescan.
+        self.next_forced_at = 0;
+        trace.push_revive(p);
+        self.event += 1;
+        Ok(())
+    }
+
+    /// Removes every message still buffered for this instance, returning
+    /// the slots (and their payloads) to the shared free lists. Called
+    /// by the batch engine once an instance meets its stop condition, so
+    /// later-finishing instances recycle its envelopes.
+    pub(crate) fn drain(&mut self, shared: &mut Shared<A::Msg>) {
+        for d in 0..self.autos.len() {
+            while let Some(id) = shared.store.head_meta(&self.store_lane, d).map(|m| m.id) {
+                if let Some((slot, _)) = shared.store.remove(&mut self.store_lane, id) {
+                    shared.payloads[slot] = None;
+                }
+            }
+        }
+    }
+
+    /// Hands this instance's store lane back for pool recycling.
+    pub(crate) fn into_store_lane(self) -> StoreLane {
+        self.store_lane
+    }
+}
+
+impl<A: Automaton> fmt::Debug for Lane<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Sim")
+        f.debug_struct("Lane")
             .field("population", &self.autos.len())
             .field("event", &self.event)
             .field("crashes_used", &self.crashes_used)
@@ -441,25 +1076,47 @@ impl<A: Automaton> fmt::Debug for Sim<A> {
     }
 }
 
+/// The discrete-event simulation engine (see the crate docs for the
+/// model it implements). The single-instance case of the lane/shared
+/// split: one `Lane` at store base 0.
+pub struct Sim<A: Automaton> {
+    lane: Lane<A>,
+    shared: Shared<A::Msg>,
+    trace: Trace,
+    /// Scratch for the per-processor stop-condition flags used by
+    /// `run_core`, reused across run segments.
+    stop_scratch: Vec<bool>,
+}
+
+impl<A: Automaton> fmt::Debug for Sim<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("population", &self.lane.population())
+            .field("event", &self.lane.event)
+            .field("crashes_used", &self.lane.crashes_used)
+            .finish()
+    }
+}
+
 impl<A: Automaton> Sim<A> {
     /// Number of processors.
     pub fn population(&self) -> usize {
-        self.autos.len()
+        self.lane.population()
     }
 
     /// The timing constants of this run.
     pub fn timing(&self) -> TimingParams {
-        self.timing
+        self.lane.timing()
     }
 
     /// The fault budget `t`.
     pub fn fault_budget(&self) -> usize {
-        self.fault_budget
+        self.lane.fault_budget()
     }
 
-    /// Current statuses, indexed by processor.
+    /// Current statuses, indexed by processor id.
     pub fn statuses(&self) -> Vec<Status> {
-        self.autos.iter().map(Automaton::status).collect()
+        self.lane.statuses()
     }
 
     /// The trace recorded so far.
@@ -470,7 +1127,7 @@ impl<A: Automaton> Sim<A> {
     /// Immutable access to one automaton (e.g. to read protocol-specific
     /// state in tests).
     pub fn automaton(&self, p: ProcessorId) -> &A {
-        &self.autos[p.index()]
+        self.lane.automaton(p.index())
     }
 
     /// Runs the engine under a pattern-only adversary until the stop
@@ -525,15 +1182,6 @@ impl<A: Automaton> Sim<A> {
         self.run_core(&mut AsContent(adversary), until_event, stop)
     }
 
-    /// Whether processor `i` currently satisfies the stop condition.
-    fn proc_ok(&self, i: usize, stop: StopWhen) -> bool {
-        self.crashed[i]
-            || match stop {
-                StopWhen::AllNonfaultyDecided => self.autos[i].status().is_decided(),
-                StopWhen::AllNonfaultyHalted => matches!(self.autos[i].status(), Status::Halted(_)),
-            }
-    }
-
     /// The dispatch loop shared by [`Sim::run`], [`Sim::run_content`]
     /// and [`Sim::run_until`]. Returns `Ok(true)` when the stop
     /// condition was met, `Ok(false)` when the event bound was reached
@@ -553,10 +1201,10 @@ impl<A: Automaton> Sim<A> {
         let admissible = adversary.admissible();
         let mut satisfied = std::mem::take(&mut self.stop_scratch);
         satisfied.clear();
-        satisfied.resize(self.autos.len(), false);
+        satisfied.resize(self.lane.population(), false);
         let mut remaining = 0usize;
         for (i, slot) in satisfied.iter_mut().enumerate() {
-            *slot = self.proc_ok(i, stop);
+            *slot = self.lane.proc_ok(i, stop);
             if !*slot {
                 remaining += 1;
             }
@@ -565,11 +1213,11 @@ impl<A: Automaton> Sim<A> {
             if remaining == 0 {
                 break Ok(true);
             }
-            if self.event >= until_event {
+            if self.lane.event >= until_event {
                 break Ok(false);
             }
             let forced = if admissible {
-                self.forced_action()
+                self.lane.forced_action(&self.shared.store)
             } else {
                 None
             };
@@ -577,8 +1225,8 @@ impl<A: Automaton> Sim<A> {
                 Some(forced) => forced,
                 None => {
                     let view = ContentView {
-                        pattern: self.pattern_view(),
-                        payloads: &self.payloads,
+                        pattern: self.lane.pattern_view(&self.shared.store),
+                        payloads: &self.shared.payloads,
                     };
                     adversary.next(&view)
                 }
@@ -592,11 +1240,14 @@ impl<A: Automaton> Sim<A> {
                     None
                 }
             };
-            if let Err(e) = self.apply(action, admissible) {
+            if let Err(e) = self
+                .lane
+                .apply(action, admissible, &mut self.shared, &mut self.trace)
+            {
                 break Err(e);
             }
             if let Some(acting) = acting {
-                let ok = self.proc_ok(acting, stop);
+                let ok = self.lane.proc_ok(acting, stop);
                 if ok != satisfied[acting] {
                     satisfied[acting] = ok;
                     if ok {
@@ -615,449 +1266,23 @@ impl<A: Automaton> Sim<A> {
     /// [`Sim::run_until`] call this once after their last segment;
     /// `stalled` and `admissible` are the caller's verdicts on the run.
     pub fn report(&self, stalled: bool, admissible: bool) -> RunReport {
-        RunReport {
-            statuses: self.statuses(),
-            crashed: self.crashed.clone(),
-            events: self.event,
-            stalled,
-            admissible,
-        }
+        self.lane.report(stalled, admissible)
     }
 
     /// Number of events executed so far (the global event counter).
     pub fn events_executed(&self) -> u64 {
-        self.event
+        self.lane.event
     }
 
     /// Whether processor `p` is currently crashed.
     pub fn is_crashed(&self, p: ProcessorId) -> bool {
-        self.crashed[p.index()]
-    }
-
-    fn pattern_view(&self) -> PatternView<'_> {
-        PatternView {
-            store: &self.store,
-            last_sent: &self.last_sent,
-            clocks: &self.clocks,
-            crashed: &self.crashed,
-            last_step_event: &self.last_step_event,
-            event: self.event,
-            fault_budget: self.fault_budget,
-            crashes_used: self.crashes_used,
-            partition: self
-                .partition
-                .as_ref()
-                .map(|ps| (ps.group.as_slice(), ps.heal_at)),
-        }
-    }
-
-    /// Drops the active partition once the event counter reaches its
-    /// heal point, restoring unrestricted delivery.
-    fn refresh_partition(&mut self) {
-        if let Some(ps) = &self.partition {
-            if self.event >= ps.heal_at {
-                self.partition = None;
-            }
-        }
-    }
-
-    /// The fairness envelope: returns an overriding action when the
-    /// adversary has starved a message or a processor past the limits.
-    ///
-    /// Cheap in the common case: below the cached `next_forced_at`
-    /// bound no trigger is possible and the scan is skipped. When a
-    /// scan runs and finds nothing, the exact next trigger is
-    /// recomputed from the per-destination head messages (send events
-    /// are nondecreasing within a destination, so the head is the
-    /// earliest) and the per-processor idle clocks.
-    fn forced_action(&mut self) -> Option<Action> {
-        if self.event < self.next_forced_at {
-            return None;
-        }
-        self.refresh_partition();
-        let defer = self.fairness.max_defer_events;
-        let idle = self.fairness.max_idle_events;
-        // A hostile network perturbs the scan: an active partition
-        // blocks some messages (they must not be force-delivered until
-        // the heal), and a past reorder breaks the sorted-prefix
-        // invariant the fast path depends on.
-        let hostile = self.partition.is_some() || self.reordered;
-        // Overdue guaranteed messages to alive processors first. Within
-        // a destination send events are nondecreasing, so the overdue
-        // messages are exactly a prefix of its pending list (every
-        // buffered message is guaranteed — drops happen at crash time).
-        for i in 0..self.autos.len() {
-            if self.crashed[i] {
-                continue;
-            }
-            let overdue: Vec<MsgId> = if hostile {
-                let part = self.partition.as_ref();
-                self.store
-                    .iter_dest(i)
-                    .filter(|m| {
-                        m.guaranteed
-                            && self.event.saturating_sub(m.send_event) > defer
-                            && part.is_none_or(|ps| !ps.blocks(m.from, m.to))
-                    })
-                    .map(|m| m.id)
-                    .collect()
-            } else {
-                self.store
-                    .iter_dest(i)
-                    .take_while(|m| m.guaranteed && self.event.saturating_sub(m.send_event) > defer)
-                    .map(|m| m.id)
-                    .collect()
-            };
-            if !overdue.is_empty() {
-                return Some(Action::Step {
-                    p: ProcessorId::new(i),
-                    deliver: overdue,
-                });
-            }
-        }
-        // Then starved processors.
-        for i in 0..self.autos.len() {
-            if !self.crashed[i] && self.event.saturating_sub(self.last_sched_event[i]) > idle {
-                return Some(Action::Step {
-                    p: ProcessorId::new(i),
-                    deliver: Vec::new(),
-                });
-            }
-        }
-        // Nothing triggered: compute the exact earliest event at which
-        // anything could. Heads only move later and idle clocks only
-        // reset forward, so the bound stays valid until a send
-        // (min-updated there) or a revive (reset there) perturbs it.
-        // Partition-blocked messages cannot be forced before the heal
-        // point, so their candidate is clamped to it — that guarantees a
-        // rescan right at the heal, which is what makes delivery across
-        // a healed partition eventual.
-        let mut next = u64::MAX;
-        for i in 0..self.autos.len() {
-            if self.crashed[i] {
-                continue;
-            }
-            if hostile {
-                let part = self.partition.as_ref();
-                for m in self.store.iter_dest(i) {
-                    let mut due = m.send_event.saturating_add(defer).saturating_add(1);
-                    if let Some(ps) = part {
-                        if ps.blocks(m.from, m.to) {
-                            due = due.max(ps.heal_at);
-                        }
-                    }
-                    next = next.min(due);
-                }
-            } else if let Some(m) = self.store.head_meta(i) {
-                next = next.min(m.send_event.saturating_add(defer).saturating_add(1));
-            }
-            next = next.min(
-                self.last_sched_event[i]
-                    .saturating_add(idle)
-                    .saturating_add(1),
-            );
-        }
-        self.next_forced_at = next;
-        None
-    }
-
-    fn apply(&mut self, action: Action, admissible: bool) -> Result<(), SimError> {
-        self.refresh_partition();
-        match action {
-            Action::Step { p, deliver } => self.apply_step(p, deliver),
-            Action::Crash { p, drop } => self.apply_crash(p, drop, admissible),
-            Action::Partition { groups, heal_at } => {
-                self.apply_partition(groups, heal_at, admissible)
-            }
-            Action::Duplicate { id } => self.apply_duplicate(id),
-            Action::Reorder { id } => self.apply_reorder(id),
-        }
-    }
-
-    fn apply_step(&mut self, p: ProcessorId, deliver: Vec<MsgId>) -> Result<(), SimError> {
-        let i = p.index();
-        if i >= self.autos.len() {
-            return Err(SimError::UnknownProcessor { p });
-        }
-        if self.crashed[i] {
-            return Err(SimError::StepOnCrashed { p });
-        }
-        // Extract the deliveries from p's buffer: O(1) per id through
-        // the store, into a scratch vector reused across steps.
-        let mut deliveries = std::mem::take(&mut self.deliv_scratch);
-        deliveries.clear();
-        for id in &deliver {
-            // An active partition (refreshed in `apply`, so it is live)
-            // vetoes any delivery crossing the group boundary.
-            if let Some(ps) = &self.partition {
-                if let Some(m) = self.store.lookup(*id) {
-                    if ps.blocks(m.from, m.to) {
-                        self.deliv_scratch = deliveries;
-                        return Err(SimError::DeliverPartitioned { p, id: *id });
-                    }
-                }
-            }
-            let Some((slot, meta)) = self.store.remove_for(*id, i) else {
-                self.deliv_scratch = deliveries;
-                return Err(SimError::DeliverNotBuffered { p, id: *id });
-            };
-            let Some(payload) = self.payloads[slot].take() else {
-                self.deliv_scratch = deliveries;
-                return Err(SimError::DeliverNotBuffered { p, id: *id });
-            };
-            deliveries.push(Delivery::new(meta.from, payload));
-        }
-        // Step the automaton with this step's random number.
-        let mut rng = self.seeds.step_rng(p, self.clocks[i]);
-        let outs = self.autos[i].step(&deliveries, &mut rng);
-        deliveries.clear();
-        self.deliv_scratch = deliveries;
-        self.clocks[i] = self.clocks[i].tick();
-        let clock_after = self.clocks[i];
-        // Validate one-message-per-destination and enqueue.
-        self.dest_seen.fill(false);
-        let mut sent_ids = std::mem::take(&mut self.sent_scratch);
-        sent_ids.clear();
-        let mut dest_sorted = true;
-        let mut prev_dest = 0usize;
-        for out in outs {
-            if out.to.index() >= self.autos.len() {
-                self.sent_scratch = sent_ids;
-                return Err(SimError::UnknownProcessor { p: out.to });
-            }
-            if std::mem::replace(&mut self.dest_seen[out.to.index()], true) {
-                self.sent_scratch = sent_ids;
-                return Err(SimError::DuplicateDestination { p, to: out.to });
-            }
-            if !sent_ids.is_empty() && out.to.index() < prev_dest {
-                dest_sorted = false;
-            }
-            prev_dest = out.to.index();
-            let id = MsgId(self.next_msg);
-            self.next_msg += 1;
-            let meta = MsgMeta {
-                id,
-                from: p,
-                to: out.to,
-                send_event: self.event,
-                sender_clock: clock_after,
-                guaranteed: true,
-            };
-            let slot = self.store.insert(meta);
-            if slot == self.payloads.len() {
-                self.payloads.push(Some(out.msg));
-            } else {
-                self.payloads[slot] = Some(out.msg);
-            }
-            self.trace.push_msg(MsgRecord {
-                id,
-                from: p,
-                to: out.to,
-                send_event: self.event,
-                sender_clock: clock_after,
-                recv_event: None,
-                recv_clock: None,
-                dropped: false,
-            });
-            sent_ids.push(id);
-        }
-        if !sent_ids.is_empty() {
-            // A fresh message could become overdue before the cached
-            // fairness bound; pull the bound in (conservatively).
-            self.next_forced_at = self.next_forced_at.min(
-                self.event
-                    .saturating_add(self.fairness.max_defer_events)
-                    .saturating_add(1),
-            );
-            // Refresh p's droppable-sends cache, ordered by destination
-            // (at most one message per destination per step, so the
-            // destination is a total order on this step's sends). The
-            // send loop already saw every destination; automata emit in
-            // ascending order, so the sort almost never runs.
-            let store = &self.store;
-            let cache = &mut self.last_sent[i];
-            cache.clear();
-            cache.extend_from_slice(&sent_ids);
-            if !dest_sorted {
-                cache.sort_unstable_by_key(|id| {
-                    store.lookup(*id).map_or(usize::MAX, |m| m.to.index())
-                });
-            }
-        } else {
-            self.last_sent[i].clear();
-        }
-        // The receiving step itself counts toward the lateness interval,
-        // so it is recorded before the deliveries are classified.
-        self.monitor.note_step(i, self.event);
-        for id in &deliver {
-            self.trace.note_delivery(*id, self.event, clock_after);
-            let send_event = self.trace.messages()[id.index()].send_event;
-            if self.monitor.classify_delivery(*id, send_event) {
-                self.trace.mark_late(*id);
-            }
-        }
-        self.trace.push_step(p, clock_after, &deliver, &sent_ids);
-        sent_ids.clear();
-        self.sent_scratch = sent_ids;
-        // Decision bookkeeping.
-        if !self.decided[i] {
-            if let Some(value) = self.autos[i].status().value() {
-                self.decided[i] = true;
-                self.trace.push_decision(DecisionRecord {
-                    p,
-                    value,
-                    clock: clock_after,
-                    event: self.event,
-                });
-            }
-        }
-        self.last_step_event[i] = Some(self.event);
-        self.last_sched_event[i] = self.event;
-        self.event += 1;
-        Ok(())
-    }
-
-    fn apply_crash(
-        &mut self,
-        p: ProcessorId,
-        drop: Vec<MsgId>,
-        admissible: bool,
-    ) -> Result<(), SimError> {
-        let i = p.index();
-        if i >= self.autos.len() {
-            return Err(SimError::UnknownProcessor { p });
-        }
-        if self.crashed[i] {
-            return Err(SimError::StepOnCrashed { p });
-        }
-        if admissible && self.crashes_used >= self.fault_budget {
-            return Err(SimError::FaultBudgetExceeded {
-                t: self.fault_budget,
-            });
-        }
-        // Only messages from p's final step may be dropped.
-        let last = self.last_step_event[i];
-        for id in &drop {
-            match (self.store.lookup(*id), last) {
-                (Some(m), Some(last_ev)) if m.from == p && m.send_event == last_ev => {}
-                _ => return Err(SimError::DropNotDroppable { p, id: *id }),
-            }
-        }
-        for id in &drop {
-            if let Some((slot, _)) = self.store.remove(*id) {
-                self.payloads[slot] = None;
-            }
-            self.trace.note_drop(*id);
-        }
-        self.crashed[i] = true;
-        self.crashes_used += 1;
-        self.trace.push_crash(p);
-        self.event += 1;
-        Ok(())
-    }
-
-    fn apply_partition(
-        &mut self,
-        groups: Vec<u32>,
-        heal_at: u64,
-        admissible: bool,
-    ) -> Result<(), SimError> {
-        let n = self.autos.len();
-        if groups.len() != n {
-            return Err(SimError::MalformedPartition {
-                expected: n,
-                got: groups.len(),
-            });
-        }
-        if admissible {
-            // A partition outliving the deferral bound would let the
-            // adversary starve a guaranteed message past the envelope,
-            // contradicting eventual delivery.
-            let limit = self.event.saturating_add(self.fairness.max_defer_events);
-            if heal_at > limit {
-                return Err(SimError::PartitionTooLong { heal_at, limit });
-            }
-        }
-        self.trace.push_partition(&groups, heal_at);
-        self.partition = Some(PartitionState {
-            group: groups,
-            heal_at,
-        });
-        self.event += 1;
-        Ok(())
-    }
-
-    fn apply_duplicate(&mut self, id: MsgId) -> Result<(), SimError> {
-        let Some(slot) = self.store.slot_index(id) else {
-            return Err(SimError::MsgNotBuffered { id });
-        };
-        let Some(orig) = self.store.lookup(id).copied() else {
-            return Err(SimError::MsgNotBuffered { id });
-        };
-        let Some(payload) = self.payloads[slot].clone() else {
-            return Err(SimError::MsgNotBuffered { id });
-        };
-        // The copy is a first-class message: fresh dense id, sent "now"
-        // (so tail insertion keeps per-destination send order), same
-        // endpoints and logical send clock as the original, and
-        // guaranteed — the network may duplicate, never forge or drop.
-        let copy = MsgId(self.next_msg);
-        self.next_msg += 1;
-        let meta = MsgMeta {
-            id: copy,
-            from: orig.from,
-            to: orig.to,
-            send_event: self.event,
-            sender_clock: orig.sender_clock,
-            guaranteed: true,
-        };
-        let new_slot = self.store.insert(meta);
-        if new_slot == self.payloads.len() {
-            self.payloads.push(Some(payload));
-        } else {
-            self.payloads[new_slot] = Some(payload);
-        }
-        self.trace.push_msg(MsgRecord {
-            id: copy,
-            from: orig.from,
-            to: orig.to,
-            send_event: self.event,
-            sender_clock: orig.sender_clock,
-            recv_event: None,
-            recv_clock: None,
-            dropped: false,
-        });
-        self.trace.push_duplicate(orig.from, id, copy);
-        // The copy could become overdue before the cached fairness
-        // bound; pull the bound in, exactly as a fresh send does.
-        self.next_forced_at = self.next_forced_at.min(
-            self.event
-                .saturating_add(self.fairness.max_defer_events)
-                .saturating_add(1),
-        );
-        self.event += 1;
-        Ok(())
-    }
-
-    fn apply_reorder(&mut self, id: MsgId) -> Result<(), SimError> {
-        let Some(meta) = self.store.lookup(id).copied() else {
-            return Err(SimError::MsgNotBuffered { id });
-        };
-        let moved = self.store.move_to_back(id);
-        debug_assert!(moved, "lookup succeeded, so the move must too");
-        // Per-destination lists are no longer sorted by send event; the
-        // fairness envelope switches to its full-scan path for the rest
-        // of the run.
-        self.reordered = true;
-        self.trace.push_reorder(meta.to, id);
-        self.event += 1;
-        Ok(())
+        self.lane.is_crashed_idx(p.index())
     }
 
     /// The online lateness classifier for this run: per-delivery
     /// on-time/late verdicts against the timing constant `K`.
     pub fn lateness(&self) -> &LatenessMonitor {
-        &self.monitor
+        self.lane.monitor()
     }
 
     /// Revives a crashed processor with a replacement automaton — the
@@ -1076,29 +1301,7 @@ impl<A: Automaton> Sim<A> {
     /// [`SimError::UnknownProcessor`] if `p` is out of range, and
     /// [`SimError::ReviveNotCrashed`] if `p` is currently alive.
     pub fn revive(&mut self, p: ProcessorId, auto: A) -> Result<(), SimError> {
-        let i = p.index();
-        if i >= self.autos.len() {
-            return Err(SimError::UnknownProcessor { p });
-        }
-        if !self.crashed[i] {
-            return Err(SimError::ReviveNotCrashed { p });
-        }
-        self.crashed[i] = false;
-        // Decision records stay monotone: a decision already in the
-        // trace is never re-recorded, and a snapshot restored past its
-        // decision point must not produce a late duplicate record.
-        self.decided[i] = self.decided[i] || auto.status().value().is_some();
-        self.autos[i] = auto;
-        // Restart the fairness clock so the scheduler is not forced to
-        // schedule the revived processor immediately.
-        self.last_sched_event[i] = self.event;
-        // The revived processor's buffered backlog re-enters the
-        // fairness scan and may already be overdue; the cached bound no
-        // longer covers it, so force a rescan.
-        self.next_forced_at = 0;
-        self.trace.push_revive(p);
-        self.event += 1;
-        Ok(())
+        self.lane.revive(p, auto, &mut self.trace)
     }
 }
 
@@ -1112,7 +1315,7 @@ impl<M> ContentAdversary<M> for AsContent<'_> {
     }
 
     fn admissible(&self) -> bool {
-        self.0.admissible()
+        Adversary::admissible(self.0)
     }
 }
 

@@ -5,7 +5,7 @@
 //! receiving event. [`Trace::is_late`](crate::Trace::is_late) computes
 //! this post-hoc by binary-searching the per-processor step lists; the
 //! [`LatenessMonitor`] classifies each delivery *as it happens*, in
-//! O(n) per delivered message and O(1) per step, so drivers can report
+//! O(1) per delivered message and O(1) per step, so drivers can report
 //! per-run on-time-ness without a trace replay.
 //!
 //! The trick: a processor `p` has taken more than `K` steps in the
@@ -13,8 +13,10 @@
 //! of delivery, `p`'s `(K+1)`-th most recent step happened strictly
 //! after `send`. The monitor keeps a ring of each processor's last
 //! `K+1` step events and exposes the evicted-next entry (the ring's
-//! oldest) in a flat array, so classifying a delivery is one sweep of
-//! `n` integer comparisons.
+//! oldest) in a flat array. And since each processor's `(K+1)`-th most
+//! recent step event only ever moves forward, the maximum over the
+//! array is maintained incrementally — classifying a delivery is ONE
+//! integer comparison (`max_kth > send_event`), not a sweep of `n`.
 
 use crate::envelope::MsgId;
 
@@ -37,6 +39,11 @@ pub struct LatenessMonitor {
     /// Per-processor event index of its `(K+1)`-th most recent step
     /// ([`NOT_FULL`] until the processor has taken `K+1` steps).
     kth: Vec<u64>,
+    /// Running maximum of `kth` — sound to cache because every `kth`
+    /// entry is nondecreasing (step events strictly increase, so the
+    /// ring's oldest entry only moves forward). A delivery is late iff
+    /// `max_kth > send_event`.
+    max_kth: u64,
     delivered: u64,
     late_ids: Vec<MsgId>,
 }
@@ -51,6 +58,7 @@ impl LatenessMonitor {
             hist: vec![0; n * cap],
             counts: vec![0; n],
             kth: vec![NOT_FULL; n],
+            max_kth: NOT_FULL,
             delivered: 0,
             late_ids: Vec::new(),
         }
@@ -69,7 +77,9 @@ impl LatenessMonitor {
         self.hist[base + slot] = event;
         self.counts[i] += 1;
         if self.counts[i] >= self.cap as u64 {
-            self.kth[i] = self.hist[base + (self.counts[i] as usize) % self.cap];
+            let kth = self.hist[base + (self.counts[i] as usize) % self.cap];
+            self.kth[i] = kth;
+            self.max_kth = self.max_kth.max(kth);
         }
     }
 
@@ -78,7 +88,8 @@ impl LatenessMonitor {
     /// mint ids with [`MsgId::external`].
     pub fn classify_delivery(&mut self, id: MsgId, send_event: u64) -> bool {
         self.delivered += 1;
-        let late = self.kth.iter().any(|&kth| kth > send_event);
+        let late = self.max_kth > send_event;
+        debug_assert_eq!(late, self.kth.iter().any(|&kth| kth > send_event));
         if late {
             self.late_ids.push(id);
         }

@@ -55,6 +55,8 @@
 
 pub mod adversaries;
 mod adversary;
+mod batch;
+mod batch_trace;
 mod engine;
 mod envelope;
 mod lateness;
@@ -66,10 +68,11 @@ mod store;
 mod trace;
 
 pub use adversary::{Action, Adversary, ContentAdversary, ContentView, MsgHandle, PatternView};
+pub use batch::{BatchPool, BatchSim, BatchSimBuilder};
 pub use engine::{FairnessParams, RunLimits, RunReport, Sim, SimBuilder, SimError, StopWhen};
 pub use envelope::MsgId;
 pub use lateness::LatenessMonitor;
 pub use metrics::{LatenessReport, RunMetrics};
 pub use pattern::{MessagePattern, PatternTriple};
 pub use replay::{Recorder, Replayer};
-pub use trace::{EventRecord, EventView, MsgRecord, Trace};
+pub use trace::{DecisionRecord, EventRecord, EventView, MsgRecord, Trace};

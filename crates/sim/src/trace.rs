@@ -226,12 +226,12 @@ pub struct DecisionRecord {
 /// digest tags, so they must never change; new kinds are only ever
 /// appended (runs that use none of the newer kinds keep byte-identical
 /// digests across engine revisions).
-const KIND_STEP: u8 = 0;
-const KIND_CRASH: u8 = 1;
-const KIND_REVIVE: u8 = 2;
-const KIND_PARTITION: u8 = 3;
-const KIND_DUPLICATE: u8 = 4;
-const KIND_REORDER: u8 = 5;
+pub(crate) const KIND_STEP: u8 = 0;
+pub(crate) const KIND_CRASH: u8 = 1;
+pub(crate) const KIND_REVIVE: u8 = 2;
+pub(crate) const KIND_PARTITION: u8 = 3;
+pub(crate) const KIND_DUPLICATE: u8 = 4;
+pub(crate) const KIND_REORDER: u8 = 5;
 
 /// A full record of one run: events, messages, crashes, decisions.
 ///
@@ -285,6 +285,28 @@ impl Trace {
             partitions: Vec::new(),
             late_marks: Vec::new(),
         }
+    }
+
+    /// Empties the trace for a population of `n`, keeping every
+    /// column's capacity — the batch engine replays lane after lane
+    /// into one scratch `Trace` this way, so only the first (largest)
+    /// lane ever grows the buffers.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.ev_kind.clear();
+        self.ev_p.clear();
+        self.ev_clock.clear();
+        self.ev_deliv_end.clear();
+        self.ev_sent_end.clear();
+        self.deliv_pool.clear();
+        self.sent_pool.clear();
+        self.msgs.clear();
+        self.crashed.clear();
+        self.decisions.clear();
+        self.step_events.truncate(n);
+        self.step_events.iter_mut().for_each(Vec::clear);
+        self.step_events.resize_with(n, Vec::new);
+        self.partitions.clear();
+        self.late_marks.clear();
     }
 
     /// Records a step event without allocating: the id slices are copied
@@ -601,6 +623,103 @@ impl Trace {
             h.write_u64(p.index() as u64);
         }
         h.finish()
+    }
+}
+
+/// The engine's recording seam: everything the event-application code
+/// needs to write while executing a run. [`Trace`] implements it
+/// directly (the single-instance case); the batch recorder's per-lane
+/// view ([`crate::batch_trace::BatchTraceLane`]) implements it over the
+/// shared multi-instance columns, which is what lets one `Lane` body
+/// serve both the single and the batched engine with byte-identical
+/// recorded content.
+pub(crate) trait TraceSink {
+    /// Records a step event.
+    fn push_step(
+        &mut self,
+        p: ProcessorId,
+        clock_after: LocalClock,
+        delivered: &[MsgId],
+        sent: &[MsgId],
+    );
+    /// Records a crash event and adds `p` to the faulty set.
+    fn push_crash(&mut self, p: ProcessorId);
+    /// Records a revive event.
+    fn push_revive(&mut self, p: ProcessorId);
+    /// Records a partition event.
+    fn push_partition(&mut self, groups: &[u32], heal_at: u64);
+    /// Records a duplication event.
+    fn push_duplicate(&mut self, from: ProcessorId, original: MsgId, copy: MsgId);
+    /// Records a reorder event.
+    fn push_reorder(&mut self, dest: ProcessorId, id: MsgId);
+    /// Records a freshly sent message.
+    fn push_msg(&mut self, rec: MsgRecord);
+    /// Marks message `id` as delivered at `event`.
+    fn note_delivery(&mut self, id: MsgId, event: u64, clock: LocalClock);
+    /// Marks message `id` as dropped at a crash.
+    fn note_drop(&mut self, id: MsgId);
+    /// Marks message `id` as late (a side annotation, not digested).
+    fn mark_late(&mut self, id: MsgId);
+    /// Records a decision.
+    fn push_decision(&mut self, d: DecisionRecord);
+    /// The send event of an already-recorded message — the lateness
+    /// classifier's input at delivery time.
+    fn send_event_of(&self, id: MsgId) -> u64;
+}
+
+impl TraceSink for Trace {
+    fn push_step(
+        &mut self,
+        p: ProcessorId,
+        clock_after: LocalClock,
+        delivered: &[MsgId],
+        sent: &[MsgId],
+    ) {
+        Trace::push_step(self, p, clock_after, delivered, sent);
+    }
+
+    fn push_crash(&mut self, p: ProcessorId) {
+        Trace::push_crash(self, p);
+    }
+
+    fn push_revive(&mut self, p: ProcessorId) {
+        Trace::push_revive(self, p);
+    }
+
+    fn push_partition(&mut self, groups: &[u32], heal_at: u64) {
+        Trace::push_partition(self, groups, heal_at);
+    }
+
+    fn push_duplicate(&mut self, from: ProcessorId, original: MsgId, copy: MsgId) {
+        Trace::push_duplicate(self, from, original, copy);
+    }
+
+    fn push_reorder(&mut self, dest: ProcessorId, id: MsgId) {
+        Trace::push_reorder(self, dest, id);
+    }
+
+    fn push_msg(&mut self, rec: MsgRecord) {
+        Trace::push_msg(self, rec);
+    }
+
+    fn note_delivery(&mut self, id: MsgId, event: u64, clock: LocalClock) {
+        Trace::note_delivery(self, id, event, clock);
+    }
+
+    fn note_drop(&mut self, id: MsgId) {
+        Trace::note_drop(self, id);
+    }
+
+    fn mark_late(&mut self, id: MsgId) {
+        Trace::mark_late(self, id);
+    }
+
+    fn push_decision(&mut self, d: DecisionRecord) {
+        Trace::push_decision(self, d);
+    }
+
+    fn send_event_of(&self, id: MsgId) -> u64 {
+        self.msgs[id.index()].send_event
     }
 }
 

@@ -1,0 +1,207 @@
+//! Batch-vs-serial equivalence: the concurrent-instance batch engine
+//! must be *unobservable* per instance.
+//!
+//! `BatchSim` steps B independent commit instances over one shared
+//! message-store slab and one shared trace recorder. This suite pins
+//! the core promise of that design: for every seeded schedule, running
+//! an instance inside a batch produces per-instance decisions, reports,
+//! and full trace digests byte-identical to a standalone `Sim` run with
+//! the same configuration, seed, and adversary. The digest covers every
+//! event, delivery, drop, decision, and crash in order (the PR-4
+//! golden-digest currency), so equality here means the batched
+//! scheduler is not just "as good" but *the same schedule*.
+
+use rtc::core::CommitMsg;
+use rtc::prelude::*;
+use rtc::sim::{Adversary, BatchPool, BatchSim, BatchSimBuilder, Sim};
+
+/// One seeded schedule of the batch corpus.
+struct Case {
+    n: usize,
+    seed: u64,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Random,
+    Adaptive,
+    Synchronous,
+}
+
+/// A batch group: B instances of population n, mixed adversary kinds.
+fn group(n: usize, b: usize, base_seed: u64) -> Vec<Case> {
+    (0..b)
+        .map(|i| Case {
+            n,
+            seed: base_seed + i as u64,
+            kind: match i % 4 {
+                0 => Kind::Synchronous,
+                1 => Kind::Adaptive,
+                _ => Kind::Random,
+            },
+        })
+        .collect()
+}
+
+/// Seed-derived vote vector (same mix as the scheduler-equivalence
+/// corpus: unanimous-commit and abort-leaning populations).
+fn votes(n: usize, seed: u64) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            Value::from_bool(seed.rotate_left(i as u32 % 61) & 1 == 0 || seed.is_multiple_of(4))
+        })
+        .collect()
+}
+
+fn config(n: usize) -> CommitConfig {
+    CommitConfig::new(n, CommitConfig::max_tolerated(n), TimingParams::default()).unwrap()
+}
+
+fn adversary(case: &Case) -> Box<dyn Adversary> {
+    match case.kind {
+        Kind::Random => {
+            let deliver = 0.4 + 0.1 * (case.seed % 5) as f64;
+            let crash = if case.seed.is_multiple_of(3) {
+                0.02
+            } else {
+                0.0
+            };
+            Box::new(
+                RandomAdversary::new(case.seed)
+                    .deliver_prob(deliver)
+                    .crash_prob(crash),
+            )
+        }
+        Kind::Adaptive => Box::new(AdaptiveAdversary::new(case.seed)),
+        Kind::Synchronous => Box::new(SynchronousAdversary::new(case.n)),
+    }
+}
+
+/// The standalone run of one case: report plus trace digest.
+fn serial_run(case: &Case) -> SerialOutcome {
+    let cfg = config(case.n);
+    let procs = commit_population(cfg, &votes(case.n, case.seed));
+    let mut sim: Sim<CommitAutomaton> =
+        SimBuilder::new(cfg.timing(), SeedCollection::new(case.seed))
+            .fault_budget(cfg.fault_bound())
+            .build(procs)
+            .unwrap();
+    let mut adv = adversary(case);
+    let report = sim.run(adv.as_mut(), RunLimits::default()).unwrap();
+    let decisions = sim
+        .trace()
+        .decisions()
+        .iter()
+        .map(|d| (d.p, d.value))
+        .collect();
+    (report, sim.trace().digest(), decisions)
+}
+
+fn build_batch(cases: &[Case], pool: BatchPool<CommitMsg>) -> BatchSim<CommitAutomaton> {
+    let mut builder = BatchSimBuilder::from_pool(pool);
+    for case in cases {
+        let cfg = config(case.n);
+        builder
+            .instance(
+                SimBuilder::new(cfg.timing(), SeedCollection::new(case.seed))
+                    .fault_budget(cfg.fault_bound()),
+                commit_population(cfg, &votes(case.n, case.seed)),
+            )
+            .unwrap();
+    }
+    builder.build()
+}
+
+/// One instance's ground truth: the standalone report, trace digest,
+/// and decision vector the batched run must reproduce byte-for-byte.
+type SerialOutcome = (RunReport, u64, Vec<(ProcessorId, Value)>);
+
+/// Runs a group as one batch and checks every instance against its
+/// standalone run. Returns the spent batch's pool for reuse probes.
+fn check_group(cases: &[Case], pool: BatchPool<CommitMsg>) -> BatchPool<CommitMsg> {
+    let serial: Vec<SerialOutcome> = cases.iter().map(serial_run).collect();
+    let mut batch = build_batch(cases, pool);
+    let mut advs: Vec<Box<dyn Adversary>> = cases.iter().map(adversary).collect();
+    let reports = batch.run(&mut advs, RunLimits::default()).unwrap();
+    assert_eq!(reports.len(), cases.len());
+    for (i, ((serial_report, serial_digest, serial_decisions), case)) in
+        serial.iter().zip(cases).enumerate()
+    {
+        let label = format!("n{}/seed{}", case.n, case.seed);
+        let report = &reports[i];
+        assert_eq!(
+            report.statuses(),
+            serial_report.statuses(),
+            "{label}: statuses diverged"
+        );
+        assert_eq!(
+            report.events(),
+            serial_report.events(),
+            "{label}: event counts diverged"
+        );
+        assert_eq!(
+            report.stalled(),
+            serial_report.stalled(),
+            "{label}: stalled flag diverged"
+        );
+        for p in ProcessorId::all(case.n) {
+            assert_eq!(
+                report.is_faulty(p),
+                serial_report.is_faulty(p),
+                "{label}: faulty set diverged at {p}"
+            );
+        }
+        let batch_decisions: Vec<(ProcessorId, Value)> =
+            batch.decisions(i).iter().map(|d| (d.p, d.value)).collect();
+        assert_eq!(
+            &batch_decisions, serial_decisions,
+            "{label}: decisions diverged"
+        );
+        assert_eq!(
+            batch.to_trace(i).digest(),
+            *serial_digest,
+            "{label}: trace digest diverged from the serial run"
+        );
+    }
+    batch.into_pool()
+}
+
+#[test]
+fn batched_schedules_are_byte_identical_to_serial_runs() {
+    // 36 seeded schedules across three batch shapes (the corpus floor
+    // is 32). Each group mixes synchronous, adaptive, and random
+    // adversaries, with seed-dependent crash injection.
+    let groups = [
+        group(4, 16, 0xBA7C_4000),
+        group(8, 12, 0xBA7C_8000),
+        group(16, 8, 0xBA7C_1600),
+    ];
+    assert!(groups.iter().map(Vec::len).sum::<usize>() >= 32);
+    // Thread ONE pool through all groups: equivalence must survive
+    // recycled slabs, store lanes, and trace columns (the chaos
+    // campaign driver reuses its pool exactly like this).
+    let mut pool = BatchPool::new();
+    for cases in &groups {
+        pool = check_group(cases, pool);
+    }
+}
+
+#[test]
+fn pooled_rerun_reproduces_digests_exactly() {
+    // Same batch twice, second time on the first run's recycled pool:
+    // digests must be byte-identical (pooling is invisible).
+    let cases = group(8, 8, 0x9E_0001);
+    let digests_of = |pool: BatchPool<CommitMsg>| {
+        let mut batch = build_batch(&cases, pool);
+        let mut advs: Vec<Box<dyn Adversary>> = cases.iter().map(adversary).collect();
+        batch.run(&mut advs, RunLimits::default()).unwrap();
+        let digests: Vec<u64> = (0..cases.len())
+            .map(|i| batch.to_trace(i).digest())
+            .collect();
+        (digests, batch.into_pool())
+    };
+    let (first, pool) = digests_of(BatchPool::new());
+    let (second, _) = digests_of(pool);
+    assert_eq!(first, second);
+}
